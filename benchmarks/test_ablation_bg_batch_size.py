@@ -1,0 +1,52 @@
+"""Ablation: background batch size vs foreground QoS (the Figure 11 tail).
+
+DeepPool reduces the background job's batch size so its kernels stay short on
+a non-preemptive device.  This ablation sweeps the background batch size and
+measures the trade-off between background throughput and foreground QoS.
+"""
+
+from repro.analysis import format_table
+from repro.core.multiplexing import GPUCollocationRunner, MultiplexConfig
+from repro.models import vgg16
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+
+BG_BATCHES = (1, 2, 4, 8, 16, 32)
+
+
+def run_bg_batch_sweep():
+    runner = GPUCollocationRunner(LayerProfiler(), get_fabric("nvswitch"), sim_time=0.15)
+    graph = vgg16()
+    results = {}
+    for bg_batch in BG_BATCHES:
+        config = MultiplexConfig(bg_batch_size=bg_batch)
+        results[bg_batch] = runner.run_scenario(
+            graph, 4, graph, config, sync_gpus=8, label=f"bg_batch={bg_batch}"
+        )
+    return results
+
+
+def test_ablation_bg_batch_size(benchmark):
+    results = benchmark.pedantic(run_bg_batch_sweep, rounds=1, iterations=1)
+    rows = [
+        (batch, r.fg_qos, r.fg_throughput, r.bg_throughput)
+        for batch, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["BG batch", "FG QoS", "FG samples/s", "BG samples/s"],
+            rows,
+            precision=2,
+            title="Ablation: background batch size vs foreground QoS (VGG-16)",
+        )
+    )
+
+    # Small background batches protect the foreground better than large ones.
+    assert results[1].fg_qos > results[32].fg_qos
+    # The smallest background batch keeps the foreground near its isolated
+    # throughput (the paper's final Figure 11 configuration).
+    assert results[1].fg_qos > 0.85
+    # Larger background batches deliver more background throughput per unit
+    # of foreground damage up to the point where interference dominates.
+    assert results[8].bg_throughput > results[1].bg_throughput * 0.8

@@ -1,0 +1,52 @@
+"""Figure 11: contribution of each multiplexing mechanism (VGG-16, one GPU).
+
+Adds the mechanisms cumulatively — CUDA graphs, naive collocation, stream
+priorities, launch pacing, the slowdown feedback loop, and background
+batch-size reduction — and checks the paper's qualitative findings: naive
+collocation destroys foreground QoS, and the protection mechanisms together
+restore it while keeping useful background throughput.
+"""
+
+from repro.analysis import figure11_mechanism_ablation, format_table
+
+
+def run_ablation():
+    return figure11_mechanism_ablation(sim_time=0.2)
+
+
+def test_fig11_mechanism_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["stage", "FG samples/s", "BG samples/s", "FG QoS"],
+            [(r.label, r.fg_throughput, r.bg_throughput, r.fg_qos) for r in results],
+            precision=2,
+            title="Figure 11: cumulative multiplexing mechanisms (VGG-16)",
+        )
+    )
+
+    by_label = {r.label: r for r in results}
+    baseline = by_label["VGG BP"]
+    naive = by_label["+ Naive Collocation"]
+    final = by_label["+ Reducing BE Batch Size"]
+
+    # The foreground-only stages run at full QoS and zero background work.
+    assert baseline.bg_throughput == 0.0
+    assert baseline.fg_qos > 0.99
+
+    # Naive collocation dramatically reduces foreground throughput.
+    assert naive.fg_qos < 0.5
+
+    # Each protection mechanism (priorities, pacing, feedback, smaller BE
+    # batch) recovers foreground QoS monotonically.
+    protected = results[3:]
+    qos_series = [r.fg_qos for r in protected]
+    assert all(b >= a - 0.02 for a, b in zip(qos_series, qos_series[1:]))
+
+    # With all mechanisms the foreground keeps most of its throughput while
+    # the background still contributes meaningfully (total throughput above
+    # the isolated foreground).
+    assert final.fg_qos > 0.8
+    assert final.bg_throughput > 0.0
+    assert final.total_throughput > 1.2 * final.fg_isolated_throughput

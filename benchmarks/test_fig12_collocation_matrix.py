@@ -1,0 +1,45 @@
+"""Figure 12: pairwise collocation of synthetic kernels under stream priorities.
+
+Reproduces the microbenchmark that motivates reducing the background batch
+size: stream priorities protect high-priority kernels in most pairings, but a
+non-preemptive scheduler cannot protect *short* high-priority kernels from
+*long*, compute-hungry low-priority kernels.
+"""
+
+from repro.analysis import figure12_collocation_matrix, format_matrix
+
+
+def run_matrix():
+    return figure12_collocation_matrix(sim_time=0.05)
+
+
+def test_fig12_collocation_matrix(benchmark):
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    row_labels = sorted({hp for hp, _ in matrix})
+    col_labels = sorted({lp for _, lp in matrix})
+    print()
+    print(
+        format_matrix(
+            row_labels,
+            col_labels,
+            matrix,
+            precision=2,
+            title="Figure 12: high-priority relative throughput (rows=HP, cols=LP)",
+        )
+    )
+
+    # Short, compute-hungry high-priority kernels collapse when collocated
+    # with long high-intensity low-priority kernels.
+    assert matrix[("10us/high", "10ms/high")] < 0.3
+    # Long high-priority kernels are essentially unaffected by short
+    # low-priority kernels.
+    assert matrix[("10ms/high", "10us/low")] > 0.85
+    # QoS degrades monotonically (within noise) as the low-priority kernel
+    # gets longer, for short high-intensity high-priority kernels.
+    degradation = [
+        matrix[("10us/high", f"{d}/high")] for d in ("10us", "100us", "1ms", "10ms")
+    ]
+    assert all(b <= a + 0.05 for a, b in zip(degradation, degradation[1:]))
+    # Low-intensity high-priority kernels are far less vulnerable: they fit
+    # next to the low-priority kernel instead of waiting for it.
+    assert matrix[("10us/low", "10ms/high")] > matrix[("10us/high", "10ms/high")] + 0.2

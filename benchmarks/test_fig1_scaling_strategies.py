@@ -1,0 +1,56 @@
+"""Figure 1: speedup of weak / strong / batch-optimal scaling for VGG-11.
+
+Regenerates the speedup-vs-GPU-count curves and checks the paper's claims:
+all strategies are near-linear up to ~4 GPUs, weak scaling saturates at
+large scale, and strong / batch-optimal scaling keep improving (with
+batch-optimal the best overall).
+"""
+
+from repro.analysis import figure1_scaling_strategies, format_table
+
+
+def _rows(result):
+    gpu_counts = result["gpu_counts"]
+    curves = result["curves"]
+    return [
+        (
+            g,
+            curves["weak"][i].speedup,
+            curves["strong"][i].speedup,
+            curves["batch-optimal"][i].speedup,
+        )
+        for i, g in enumerate(gpu_counts)
+    ]
+
+
+def test_fig1_scaling_strategies(benchmark):
+    result = benchmark(figure1_scaling_strategies)
+    rows = _rows(result)
+    print()
+    print(
+        format_table(
+            ["GPUs", "weak", "strong", "batch-optimal"],
+            rows,
+            precision=1,
+            title="Figure 1: speedup training VGG-11 to error 0.35 (1 Tbps per GPU)",
+        )
+    )
+
+    curves = result["curves"]
+    weak = [p.speedup for p in curves["weak"]]
+    strong = [p.speedup for p in curves["strong"]]
+    optimal = [p.speedup for p in curves["batch-optimal"]]
+
+    # Near-linear speedup for every strategy up to 4 GPUs.
+    for series in (weak, strong, optimal):
+        assert series[0] == 1.0
+        assert series[2] > 2.5  # 4 GPUs
+
+    # Weak scaling saturates: going from 64 to 256 GPUs barely helps.
+    assert weak[-1] < weak[-3] * 1.25
+    # Strong scaling beats weak scaling at large scale on a fast network.
+    assert strong[-1] > weak[-1]
+    # Batch-optimal dominates both at every scale.
+    assert all(o >= max(w, s) - 1e-9 for o, w, s in zip(optimal, weak, strong))
+    # And keeps improving meaningfully beyond weak scaling's plateau.
+    assert optimal[-1] > 2.5 * weak[-1]

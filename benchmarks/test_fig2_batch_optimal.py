@@ -1,0 +1,32 @@
+"""Figure 2: per-GPU batch size chosen by batch-optimal scaling.
+
+The paper's observation: as the cluster grows, the time-to-accuracy-optimal
+per-GPU batch size shrinks, i.e. large clusters are pushed into the
+strong-scaling regime of small per-GPU batches.
+"""
+
+from repro.analysis import figure2_batch_optimal_per_gpu_batch, format_table
+
+
+def test_fig2_batch_optimal_per_gpu_batch(benchmark):
+    per_gpu = benchmark(figure2_batch_optimal_per_gpu_batch)
+    rows = sorted(per_gpu.items())
+    print()
+    print(
+        format_table(
+            ["GPUs", "optimal per-GPU batch"],
+            rows,
+            precision=0,
+            title="Figure 2: batch-optimal per-GPU batch size (NVSwitch, VGG-11)",
+        )
+    )
+
+    small_scale = per_gpu[min(per_gpu)]
+    large_scale = per_gpu[max(per_gpu)]
+    # Large scale uses a much smaller per-GPU batch than small scale.
+    assert large_scale <= small_scale / 4
+    # The trend is (weakly) monotone decreasing across the sweep.
+    batches = [b for _, b in rows]
+    assert all(b2 <= b1 for b1, b2 in zip(batches, batches[1:]))
+    # At 256 GPUs the optimal per-GPU batch is small (strong-scaling regime).
+    assert large_scale <= 32

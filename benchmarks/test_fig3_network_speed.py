@@ -1,0 +1,39 @@
+"""Figure 3: speedup at 256 GPUs under different network speeds.
+
+Checks the crossover the paper highlights: with a slow (10 Gbps) network,
+weak scaling is preferable; with NVSwitch-class networks, strong and
+batch-optimal scaling pull far ahead, so fast networks make strong scaling
+attractive.
+"""
+
+from repro.analysis import figure3_network_speed_comparison, format_table
+
+
+def test_fig3_network_speed_comparison(benchmark):
+    result = benchmark(figure3_network_speed_comparison)
+    rows = [
+        (name, vals["weak"], vals["strong"], vals["batch-optimal"])
+        for name, vals in result.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["network", "weak", "strong", "batch-optimal"],
+            rows,
+            precision=1,
+            title="Figure 3: speedup at 256 GPUs, VGG-11 to error 0.35",
+        )
+    )
+
+    slow = result["10gbps"]
+    fast = result["nvswitch"]
+    # On a slow network weak scaling beats strong scaling.
+    assert slow["weak"] > slow["strong"]
+    # On a fast network strong scaling beats weak scaling.
+    assert fast["strong"] > fast["weak"]
+    # Strong scaling benefits much more from the faster network than weak
+    # scaling does (the reason faster networks favor strong scaling).
+    assert fast["strong"] / slow["strong"] > 5 * (fast["weak"] / slow["weak"])
+    # Batch-optimal is the best strategy on every network.
+    for vals in result.values():
+        assert vals["batch-optimal"] >= max(vals["weak"], vals["strong"]) - 1e-9

@@ -1,0 +1,43 @@
+"""Figure 4: GPU utilization CDF of ResNet-50 at different minibatch sizes.
+
+The paper's point: with small minibatches most device time is spent at low
+utilization, so even infinitely fast networks cannot make strong scaling
+linear — which is the capacity DeepPool reclaims via collocation.
+"""
+
+from repro.analysis import figure4_utilization_cdf, format_table
+
+
+def test_fig4_utilization_cdf(benchmark):
+    cdfs = benchmark(figure4_utilization_cdf)
+    rows = []
+    for batch in sorted(cdfs):
+        cdf = cdfs[batch]
+        rows.append(
+            (
+                batch,
+                cdf.mean(),
+                cdf.fraction_below(0.25),
+                cdf.fraction_below(0.5),
+                cdf.fraction_below(0.75),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["minibatch", "mean util", "time < 25%", "time < 50%", "time < 75%"],
+            rows,
+            precision=2,
+            title="Figure 4: ResNet-50 device utilization vs minibatch size",
+        )
+    )
+
+    means = {batch: cdfs[batch].mean() for batch in cdfs}
+    # Utilization increases monotonically with the minibatch size.
+    ordered = [means[b] for b in sorted(means)]
+    assert all(b <= a for b, a in zip(ordered, ordered[1:]))
+    # Tiny batches leave the device mostly idle; big batches mostly busy.
+    assert means[1] < 0.2
+    assert means[256] > 0.8
+    # At minibatch 1, the majority of device time is below 50% utilization.
+    assert cdfs[1].fraction_below(0.5) > 0.5

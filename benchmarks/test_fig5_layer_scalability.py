@@ -1,0 +1,35 @@
+"""Figure 5: heterogeneous per-layer scalability of VGG-16.
+
+Strong scaling one iteration from 128 samples to 2 samples per GPU speeds up
+some layers almost linearly (the big early convolutions) while other layers
+(the fully connected classifier) barely improve — the unevenness burst
+parallelism exploits.
+"""
+
+from repro.analysis import figure5_layer_scalability, format_table
+
+
+def test_fig5_layer_scalability(benchmark):
+    rows = benchmark(figure5_layer_scalability)
+    print()
+    print(
+        format_table(
+            ["layer", "speedup (128 -> 2 samples)"],
+            rows,
+            precision=1,
+            title="Figure 5: per-layer strong-scaling speedup, VGG-16",
+        )
+    )
+
+    speedups = dict(rows)
+    conv_speedups = [s for name, s in rows if ".conv" in name]
+    fc_speedups = [s for name, s in rows if ".fc" in name]
+
+    # Some layers scale close to linearly (the paper shows up to ~60x).
+    assert max(conv_speedups) > 30
+    # The fully connected layers barely benefit at all.
+    assert max(fc_speedups) < 3
+    # Scalability is highly heterogeneous: at least a 10x spread across layers.
+    assert max(speedups.values()) / min(speedups.values()) > 10
+    # Early wide convolutions scale better than the last small convolutions.
+    assert speedups["features.conv2"] > speedups["features.conv13"]

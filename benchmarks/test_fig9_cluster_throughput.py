@@ -1,0 +1,48 @@
+"""Figure 9: cluster training throughput of DP / BP / BP+Col / BG-only.
+
+Checks the paper's headline claims on the simulated 8-GPU cluster:
+
+* burst parallelism plus collocation raises total cluster throughput by
+  roughly 1.2 - 2.3x over single-task data parallelism;
+* the foreground job loses less than ~20% of its throughput to collocation;
+* burst parallel scheduling alone does not hurt the foreground job for the
+  chain-structured workloads (VGG-16).
+"""
+
+from repro.analysis import figure9_cluster_throughput, render_scenarios
+
+
+def run_figure9():
+    # Calibration uses the detailed single-GPU simulator; keep sim_time short
+    # so the benchmark finishes quickly while staying deterministic.
+    return figure9_cluster_throughput(calibrate=True, sim_time=0.1)
+
+
+def test_fig9_cluster_throughput(benchmark):
+    results = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    print()
+    print(render_scenarios(results))
+    print()
+    for r in results:
+        print(
+            f"{r.model}: BP+Col total / DP total = {r.throughput_gain:.2f}x, "
+            f"FG cost of collocation = {r.fg_degradation * 100:.0f}%"
+        )
+
+    by_model = {r.model: r for r in results}
+
+    for r in results:
+        # Collocation raises total cluster throughput substantially over DP
+        # (the paper reports 1.2 - 2.3x across the three workloads).
+        assert r.throughput_gain > 1.2
+        # The foreground job keeps most of its throughput.
+        assert r.fg_degradation < 0.25
+        # The combined throughput cannot exceed BG-only plus the foreground
+        # contribution (sanity bound on the collocation model).
+        bg_only = r.scenario("BG Only").total_throughput
+        col = r.scenario("BP + Col")
+        assert col.bg_throughput <= bg_only * 1.001
+
+    # Burst parallelism alone does not slow down VGG-16 versus DP.
+    vgg = by_model["vgg16"]
+    assert vgg.scenario("BP").fg_throughput >= 0.95 * vgg.scenario("DP").fg_throughput

@@ -1,0 +1,47 @@
+"""Table 1: workload characteristics of the evaluation models.
+
+Regenerates the parameter counts, layer counts, and input sizes from the
+model zoo and checks them against the paper's reported values.
+"""
+
+from repro.analysis import format_table, table1_workload_characteristics
+
+#: Paper-reported values: (params in millions, input size).
+PAPER_VALUES = {
+    "vgg16": (132.0, "3 x 224 x 224"),
+    "wide_resnet101_2": (127.0, "3 x 400 x 400"),
+    "inception_v3": (24.0, "3 x 299 x 299"),
+}
+
+
+def test_table1_workload_characteristics(benchmark):
+    rows = benchmark(table1_workload_characteristics)
+    print()
+    print(
+        format_table(
+            ["model", "params (M)", "weight layers", "operators", "input", "structure"],
+            [
+                (
+                    r.model,
+                    r.params_millions,
+                    r.weight_layers,
+                    r.operator_layers,
+                    r.input_size,
+                    r.structure,
+                )
+                for r in rows
+            ],
+            precision=1,
+            title="Table 1: workload characteristics",
+        )
+    )
+
+    by_name = {r.model: r for r in rows}
+    for name, (paper_params, input_size) in PAPER_VALUES.items():
+        row = by_name[name]
+        # Parameter counts within 10% of the paper's values.
+        assert abs(row.params_millions - paper_params) / paper_params < 0.10
+        assert row.input_size == input_size
+    # Inception-V3 is the many-small-layers workload.
+    assert by_name["inception_v3"].weight_layers > by_name["vgg16"].weight_layers
+    assert by_name["inception_v3"].params_millions < by_name["vgg16"].params_millions

@@ -1,0 +1,39 @@
+"""Table 3: wall-clock time of the burst-parallel plan search.
+
+The paper's claim: thanks to restricting layer widths to powers of two, the
+search completes within seconds even at 1024 GPUs, growing only modestly from
+the 8-GPU search, and Inception-V3 (which needs the graph-reduction step) is
+the slowest model to plan.
+"""
+
+from repro.analysis import format_table, table3_planner_search_time
+
+
+def run_table3():
+    return table3_planner_search_time()
+
+
+def test_table3_planner_search_time(benchmark):
+    times = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    rows = [
+        (model, per_scale.get(8, float("nan")), per_scale.get(1024, float("nan")))
+        for model, per_scale in times.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["model", "8 GPUs (s)", "1024 GPUs (s)"],
+            rows,
+            precision=3,
+            title="Table 3: burst-parallel plan search time",
+        )
+    )
+
+    for model, per_scale in times.items():
+        # Search completes in seconds even at 1024 GPUs.
+        assert per_scale[1024] < 30.0, f"{model} search too slow: {per_scale[1024]:.1f}s"
+        # And the 8-GPU search is fast.
+        assert per_scale[8] < 5.0
+    # VGG-16 (a simple chain) is the fastest model to plan.
+    assert times["vgg16"][1024] < times["inception_v3"][1024]
+    assert times["vgg16"][8] < 0.5

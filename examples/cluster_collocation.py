@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Cluster scenario study: DP vs BP vs BP+Col vs BG-only (Figure 9 style).
+
+Shows how DeepPool's two ideas combine on an 8-GPU cluster training
+WideResNet-101-2 with a small global batch (strong scaling):
+
+* the burst-parallel planner frees GPU time by narrowing layers that do not
+  scale;
+* GPU multiplexing reclaims that time (plus leftover SMs) with a background
+  job, raising total cluster throughput with a bounded impact on the
+  foreground job.
+
+The per-GPU interference profile is calibrated with the discrete-event GPU
+simulator, so the foreground slowdown and background efficiency are measured
+rather than assumed.
+
+Run with:  python examples/cluster_collocation.py [model] [global_batch]
+"""
+
+import sys
+
+from repro.analysis import figure9_cluster_throughput, render_scenarios
+from repro.cluster import ClusterExecutor, CollocationProfile, TrainingJob
+from repro.core.multiplexing import GPUCollocationRunner, MultiplexConfig
+from repro.models import build_model, model_entry
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler, per_gpu_batch
+
+NUM_GPUS = 8
+BG_BATCH = 4
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "wide_resnet101_2"
+    entry = model_entry(model_name)
+    global_batch = int(sys.argv[2]) if len(sys.argv) > 2 else entry.default_global_batch
+
+    fabric = get_fabric("nvswitch")
+    profiler = LayerProfiler()
+    graph = build_model(model_name)
+
+    # Calibrate the per-GPU interference profile with the device simulator.
+    runner = GPUCollocationRunner(profiler, fabric, sim_time=0.2)
+    profile = CollocationProfile.calibrate(
+        runner,
+        graph,
+        per_gpu_batch(global_batch, NUM_GPUS),
+        graph,
+        MultiplexConfig(bg_batch_size=BG_BATCH),
+        sync_gpus=NUM_GPUS,
+    )
+    print(
+        f"Calibrated collocation profile for {model_name}: "
+        f"fg_slowdown={profile.fg_slowdown:.2f}, "
+        f"bg_busy_efficiency={profile.bg_busy_efficiency:.2f}"
+    )
+    print()
+
+    executor = ClusterExecutor(fabric, profiler)
+    job = TrainingJob(name=model_name, graph=graph, global_batch=global_batch)
+    scenarios = executor.figure9_scenarios(
+        job, NUM_GPUS, amplification_limit=4.0, bg_batch=BG_BATCH, collocation=profile
+    )
+
+    print(f"{model_name}, global batch {global_batch}, {NUM_GPUS} GPUs")
+    print(f"{'scenario':>10}  {'FG samples/s':>12}  {'BG samples/s':>12}  {'total':>10}")
+    for s in scenarios:
+        print(
+            f"{s.label:>10}  {s.fg_throughput:12.1f}  {s.bg_throughput:12.1f}  "
+            f"{s.total_throughput:10.1f}"
+        )
+
+    dp, bp, col = scenarios[0], scenarios[1], scenarios[2]
+    print()
+    print(f"Cluster throughput gain of BP+Col over DP : "
+          f"{col.total_throughput / dp.total_throughput:.2f}x")
+    print(f"Foreground cost of collocation (vs BP)     : "
+          f"{(1 - col.fg_throughput / bp.fg_throughput) * 100:.0f}%")
+
+    print()
+    print("Full three-workload sweep (Figure 9):")
+    print(render_scenarios(figure9_cluster_throughput(calibrate=False)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: plan a burst-parallel training job for VGG-16 on 8 GPUs.
+
+This is the smallest end-to-end use of the public API:
+
+1. build a model graph from the zoo;
+2. create a planner for an NVSwitch-connected cluster of A100s;
+3. ask for a burst-parallel plan with a GPU-sec amplification limit of 2.0;
+4. compare it against the conventional data-parallel plan and print the
+   JSON that would be submitted to the cluster coordinator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import BurstParallelPlanner, PlannerConfig, build_model, get_fabric
+
+GLOBAL_BATCH = 32
+NUM_GPUS = 8
+AMPLIFICATION_LIMIT = 2.0
+
+
+def main() -> None:
+    model = build_model("vgg16")
+    planner = BurstParallelPlanner(
+        fabric=get_fabric("nvswitch"),
+        config=PlannerConfig(amplification_limit=AMPLIFICATION_LIMIT),
+    )
+
+    burst_plan = planner.plan(model, GLOBAL_BATCH, NUM_GPUS)
+    data_parallel = planner.data_parallel_plan(model, GLOBAL_BATCH, NUM_GPUS)
+
+    print("=== Burst-parallel plan ===")
+    print(burst_plan.summary())
+    print()
+    print("=== Data-parallel baseline ===")
+    print(data_parallel.summary())
+    print()
+
+    speedup = data_parallel.iteration_time / burst_plan.iteration_time
+    saved = 1.0 - burst_plan.total_gpu_seconds() / data_parallel.total_gpu_seconds()
+    print(f"Foreground iteration speedup over DP : {speedup:.2f}x")
+    print(f"GPU-seconds saved per iteration      : {saved * 100:.0f}%")
+    print(f"Average GPUs busy (of {NUM_GPUS})            : "
+          f"{burst_plan.average_gpus_busy():.2f}")
+    print()
+    print("=== Plan JSON submitted to the cluster coordinator (truncated) ===")
+    payload = burst_plan.to_json()
+    print(payload[:800] + ("\n  ..." if len(payload) > 800 else ""))
+
+
+if __name__ == "__main__":
+    main()

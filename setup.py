@@ -1,0 +1,9 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package.
+
+The actual project metadata lives in pyproject.toml; this file only exists so
+that legacy editable installs (`setup.py develop`) are possible in offline
+environments whose setuptools cannot build wheels.
+"""
+from setuptools import setup
+
+setup()

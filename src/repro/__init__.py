@@ -1,0 +1,38 @@
+"""DeepPool reproduction: Efficient Strong Scaling Through Burst Parallel Training.
+
+A simulation-based reproduction of the MLSys 2022 paper.  The package is
+organised as:
+
+* ``repro.models`` — static computation graphs of the evaluation workloads;
+* ``repro.profiler`` — analytical GPU cost model (replaces on-device
+  profiling);
+* ``repro.network`` — NVSwitch-style fabric, collective, and redistribution
+  cost models;
+* ``repro.scaling`` — weak / strong / batch-optimal scaling analysis
+  (Section 2);
+* ``repro.core.planner`` — the burst-parallel training planner (Section 4);
+* ``repro.core.multiplexing`` — GPU multiplexing mechanisms and experiments
+  (Section 5);
+* ``repro.gpu`` — discrete-event GPU device simulator;
+* ``repro.cluster`` — cluster coordinator, runtimes, executor, and baselines;
+* ``repro.workloads`` / ``repro.analysis`` — experiment definitions and the
+  per-figure entry points used by the benchmark harnesses.
+"""
+
+from .core.planner import BurstParallelPlanner, PlannerConfig, TrainingPlan
+from .models import build_model, available_models
+from .network import get_fabric
+from .profiler import LayerProfiler
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BurstParallelPlanner",
+    "PlannerConfig",
+    "TrainingPlan",
+    "LayerProfiler",
+    "build_model",
+    "available_models",
+    "get_fabric",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Experiment entry points (one per table/figure) and text reporting."""
+
+from .experiments import (
+    figure1_scaling_strategies,
+    figure2_batch_optimal_per_gpu_batch,
+    figure3_network_speed_comparison,
+    figure4_utilization_cdf,
+    figure5_layer_scalability,
+    figure9_cluster_throughput,
+    figure10_tradeoff,
+    figure11_mechanism_ablation,
+    figure12_collocation_matrix,
+    render_scenarios,
+    render_tradeoff,
+    table1_workload_characteristics,
+    table3_planner_search_time,
+    Figure9Result,
+)
+from .reporting import format_bars, format_matrix, format_table
+
+__all__ = [
+    "figure1_scaling_strategies",
+    "figure2_batch_optimal_per_gpu_batch",
+    "figure3_network_speed_comparison",
+    "figure4_utilization_cdf",
+    "figure5_layer_scalability",
+    "table1_workload_characteristics",
+    "figure9_cluster_throughput",
+    "figure10_tradeoff",
+    "figure11_mechanism_ablation",
+    "figure12_collocation_matrix",
+    "table3_planner_search_time",
+    "render_scenarios",
+    "render_tradeoff",
+    "Figure9Result",
+    "format_table",
+    "format_matrix",
+    "format_bars",
+]

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent and make the
+bench output readable in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_matrix", "format_bars"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows = [[_fmt(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[tuple, float],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render a (row, col) -> value mapping as a matrix (Figure 12 style)."""
+    headers = [""] + list(col_labels)
+    rows = []
+    for r in row_labels:
+        rows.append([r] + [values.get((r, c), float("nan")) for c in col_labels])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render labelled values as horizontal ASCII bars (Figure 9/11 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    peak = max(values) if values else 0.0
+    lines = [title] if title else []
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_width)} | {'#' * bar_len} {value:,.1f}{unit}"
+        )
+    return "\n".join(lines)

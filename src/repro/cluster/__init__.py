@@ -1,0 +1,36 @@
+"""Cluster simulator: coordinator, runtimes, executor, and baselines.
+
+Public API:
+
+* :class:`~repro.cluster.job.TrainingJob` / :class:`~repro.cluster.job.JobKind`
+  — job descriptions.
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` and
+  :class:`~repro.cluster.runtime.GPURuntime` — plan placement onto GPUs.
+* :class:`~repro.cluster.executor.ClusterExecutor` /
+  :class:`~repro.cluster.executor.CollocationProfile` — scenario throughput
+  (Figure 9).
+* :class:`~repro.cluster.partition.ClusterPartitionBaseline` — the static
+  partitioning baseline (Figure 10).
+* :class:`~repro.cluster.throughput.ScenarioThroughput` /
+  :class:`~repro.cluster.throughput.TradeoffPoint` — reporting types.
+"""
+
+from .coordinator import ClusterCoordinator
+from .executor import ClusterExecutor, CollocationProfile
+from .job import JobKind, TrainingJob
+from .partition import ClusterPartitionBaseline
+from .runtime import GPURuntime
+from .throughput import ScenarioThroughput, TradeoffPoint, pareto_frontier
+
+__all__ = [
+    "TrainingJob",
+    "JobKind",
+    "ClusterCoordinator",
+    "GPURuntime",
+    "ClusterExecutor",
+    "CollocationProfile",
+    "ClusterPartitionBaseline",
+    "ScenarioThroughput",
+    "TradeoffPoint",
+    "pareto_frontier",
+]

@@ -1,0 +1,212 @@
+"""Cluster executor: estimating cluster-wide throughput of a scenario.
+
+Combines a foreground training plan (from the burst-parallel planner), the
+cluster coordinator's placement, and a per-GPU collocation profile into the
+scenario throughputs of Figures 9 and 10:
+
+* ``DP`` — a single data-parallel foreground job;
+* ``BP`` — the burst-parallel foreground plan alone;
+* ``BP + Col`` — the burst-parallel plan with a background job collocated on
+  every GPU;
+* ``BG Only`` — every GPU just runs the background job (the throughput
+  ceiling for reclaimed capacity).
+
+The collocation profile captures what the detailed single-GPU simulator
+(:mod:`repro.core.multiplexing`) says about sharing a GPU: how much the
+foreground slows down and what fraction of the background's stand-alone
+throughput survives while the foreground is busy versus idle.  It can be set
+analytically or calibrated by actually running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.multiplexing.collocation import GPUCollocationRunner
+from ..core.multiplexing.config import MultiplexConfig
+from ..core.planner.plan import TrainingPlan
+from ..core.planner.planner import BurstParallelPlanner
+from ..models.graph import ModelGraph
+from ..network.fabric import NetworkFabric
+from ..profiler.layer_profiler import LayerProfiler
+from .coordinator import ClusterCoordinator
+from .job import TrainingJob
+from .throughput import ScenarioThroughput
+
+__all__ = ["CollocationProfile", "ClusterExecutor"]
+
+
+@dataclass(frozen=True)
+class CollocationProfile:
+    """Per-GPU interference summary used by the cluster-level model.
+
+    Attributes
+    ----------
+    fg_slowdown:
+        Multiplier on the foreground stage time on GPUs that also host a
+        background job (>= 1.0).
+    bg_busy_efficiency:
+        Fraction of the background job's stand-alone throughput it achieves
+        while the GPU is busy with foreground work (spatial sharing of
+        leftover SMs).
+    bg_idle_efficiency:
+        Fraction achieved while the GPU has no foreground stage to run
+        (temporal gaps opened up by burst parallelism).
+    """
+
+    fg_slowdown: float = 1.12
+    bg_busy_efficiency: float = 0.35
+    bg_idle_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.fg_slowdown < 1.0:
+            raise ValueError("fg_slowdown must be >= 1.0")
+        for name in ("bg_busy_efficiency", "bg_idle_efficiency"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @classmethod
+    def calibrate(
+        cls,
+        runner: GPUCollocationRunner,
+        fg_graph: ModelGraph,
+        fg_per_gpu_batch: int,
+        bg_graph: ModelGraph,
+        config: Optional[MultiplexConfig] = None,
+        sync_gpus: int = 8,
+    ) -> "CollocationProfile":
+        """Derive the profile from the detailed single-GPU simulator.
+
+        The foreground job is run at its per-GPU batch size with and without
+        the background job; the resulting slowdown and background throughput
+        (relative to the background running alone) become the profile.
+        """
+        cfg = config if config is not None else MultiplexConfig()
+        result = runner.run_scenario(
+            fg_graph, fg_per_gpu_batch, bg_graph, cfg, sync_gpus=sync_gpus,
+            label="calibration",
+        )
+        bg_alone = runner.background_only_throughput(bg_graph, cfg)
+        busy_eff = 0.0 if bg_alone <= 0 else min(1.0, result.bg_throughput / bg_alone)
+        return cls(
+            fg_slowdown=max(1.0, result.fg_slowdown),
+            bg_busy_efficiency=busy_eff,
+            bg_idle_efficiency=0.95,
+        )
+
+
+class ClusterExecutor:
+    """Estimates cluster-wide scenario throughput from plans and profiles."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        profiler: Optional[LayerProfiler] = None,
+        planner: Optional[BurstParallelPlanner] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.planner = (
+            planner
+            if planner is not None
+            else BurstParallelPlanner(fabric, self.profiler)
+        )
+
+    # ------------------------------------------------------------ primitives
+    def background_isolated_throughput(self, job: TrainingJob) -> float:
+        """Samples/s of a background job running alone on one GPU."""
+        iter_time = self.profiler.iteration_compute_time(job.graph, job.global_batch)
+        if iter_time <= 0:
+            return 0.0
+        return job.global_batch / iter_time
+
+    def execute_plan(
+        self,
+        plan: TrainingPlan,
+        background: Optional[TrainingJob] = None,
+        collocation: Optional[CollocationProfile] = None,
+        label: str = "",
+    ) -> ScenarioThroughput:
+        """Cluster throughput of running a foreground plan (plus optional BG).
+
+        The coordinator places the plan's stages on GPUs; background
+        throughput is accumulated per GPU from its idle and busy fractions
+        using the collocation profile.
+        """
+        coordinator = ClusterCoordinator(num_gpus=plan.total_gpus)
+        coordinator.place_plan(plan)
+
+        profile = collocation if collocation is not None else CollocationProfile()
+        collocating = background is not None
+        fg_iteration = plan.iteration_time * (profile.fg_slowdown if collocating else 1.0)
+        fg_throughput = plan.global_batch / fg_iteration if fg_iteration > 0 else 0.0
+
+        bg_throughput = 0.0
+        if collocating:
+            assert background is not None
+            bg_isolated = self.background_isolated_throughput(background)
+            for runtime in coordinator.runtimes:
+                busy = runtime.busy_fraction(fg_iteration)
+                idle = 1.0 - busy
+                bg_throughput += bg_isolated * (
+                    idle * profile.bg_idle_efficiency
+                    + busy * profile.bg_busy_efficiency
+                )
+
+        return ScenarioThroughput(
+            label=label or ("BP + Col" if collocating else "BP"),
+            fg_throughput=fg_throughput,
+            bg_throughput=bg_throughput,
+            fg_iteration_time=fg_iteration,
+            num_gpus=plan.total_gpus,
+        )
+
+    def background_only(
+        self, background: TrainingJob, num_gpus: int, label: str = "BG Only"
+    ) -> ScenarioThroughput:
+        """Every GPU runs only the background job (Figure 9's ceiling bar)."""
+        bg_isolated = self.background_isolated_throughput(background)
+        return ScenarioThroughput(
+            label=label,
+            fg_throughput=0.0,
+            bg_throughput=bg_isolated * num_gpus,
+            fg_iteration_time=0.0,
+            num_gpus=num_gpus,
+        )
+
+    # -------------------------------------------------------------- scenarios
+    def figure9_scenarios(
+        self,
+        foreground: TrainingJob,
+        num_gpus: int,
+        amplification_limit: float = 2.0,
+        bg_batch: int = 4,
+        collocation: Optional[CollocationProfile] = None,
+    ) -> List[ScenarioThroughput]:
+        """The four bars of Figure 9 for one workload.
+
+        The background job trains the same model as the foreground job (as in
+        the paper, "for ease of understanding GPU throughput") at a small
+        per-GPU batch size.
+        """
+        background = foreground.background(batch=bg_batch)
+        dp_plan = self.planner.data_parallel_plan(
+            foreground.graph, foreground.global_batch, num_gpus
+        )
+        bp_plan = self.planner.plan(
+            foreground.graph,
+            foreground.global_batch,
+            num_gpus,
+            amplification_limit=foreground.amplification_limit or amplification_limit,
+        )
+        scenarios = [
+            self.execute_plan(dp_plan, label="DP"),
+            self.execute_plan(bp_plan, label="BP"),
+            self.execute_plan(
+                bp_plan, background=background, collocation=collocation, label="BP + Col"
+            ),
+            self.background_only(background, num_gpus),
+        ]
+        return scenarios

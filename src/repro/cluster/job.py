@@ -1,0 +1,86 @@
+"""Job descriptions submitted to the cluster.
+
+Mirrors what a user hands to DeepPool (paper Figure 6): a model description,
+a dataset/batch configuration, and — for foreground jobs — an inefficiency
+tolerance (GPU-sec amplification limit).  Background jobs are small,
+single-GPU, low-priority training jobs used to reclaim spare capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..models.graph import ModelGraph
+
+__all__ = ["JobKind", "TrainingJob"]
+
+
+class JobKind(str, Enum):
+    """Whether a job is a time-critical foreground job or best-effort background."""
+
+    FOREGROUND = "foreground"
+    BACKGROUND = "background"
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One training job submitted to the cluster.
+
+    Attributes
+    ----------
+    name:
+        Unique job name.
+    graph:
+        Static model graph to train.
+    global_batch:
+        Global batch size per iteration.  For background jobs this is the
+        single-GPU batch size (background jobs are limited to one GPU,
+        paper Section 1).
+    kind:
+        Foreground (high priority, distributed) or background (low priority,
+        local).
+    amplification_limit:
+        Inefficiency tolerance used by the burst-parallel planner; only
+        meaningful for foreground jobs.
+    """
+
+    name: str
+    graph: ModelGraph
+    global_batch: int
+    kind: JobKind = JobKind.FOREGROUND
+    amplification_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.global_batch < 1:
+            raise ValueError(f"job {self.name!r}: global_batch must be positive")
+        if self.amplification_limit is not None and self.amplification_limit < 1.0:
+            raise ValueError(
+                f"job {self.name!r}: amplification_limit must be at least 1.0"
+            )
+
+    @property
+    def is_foreground(self) -> bool:
+        return self.kind is JobKind.FOREGROUND
+
+    @property
+    def is_background(self) -> bool:
+        return self.kind is JobKind.BACKGROUND
+
+    def foreground(self) -> "TrainingJob":
+        """Copy of this job marked as foreground."""
+        return TrainingJob(
+            self.name, self.graph, self.global_batch, JobKind.FOREGROUND,
+            self.amplification_limit,
+        )
+
+    def background(self, batch: Optional[int] = None) -> "TrainingJob":
+        """Copy of this job marked as a (single-GPU) background job."""
+        return TrainingJob(
+            f"{self.name}-bg",
+            self.graph,
+            batch if batch is not None else self.global_batch,
+            JobKind.BACKGROUND,
+            None,
+        )

@@ -1,0 +1,105 @@
+"""Static cluster-partition baseline (Figure 10's comparison).
+
+Instead of burst parallelism plus collocation, an operator can statically
+split the cluster: ``k`` GPUs run the foreground job with conventional data
+parallelism and the remaining GPUs each run an independent background job.
+The paper compares DeepPool's operating points against the four partitions
+1/2/4/8 foreground GPUs on an 8-GPU cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.planner.planner import BurstParallelPlanner
+from ..network.fabric import NetworkFabric
+from ..profiler.layer_profiler import LayerProfiler
+from .job import TrainingJob
+from .throughput import ScenarioThroughput, TradeoffPoint
+
+__all__ = ["ClusterPartitionBaseline"]
+
+
+@dataclass
+class ClusterPartitionBaseline:
+    """Evaluates static foreground/background cluster partitions."""
+
+    fabric: NetworkFabric
+    profiler: Optional[LayerProfiler] = None
+    planner: Optional[BurstParallelPlanner] = None
+
+    def __post_init__(self) -> None:
+        if self.profiler is None:
+            self.profiler = LayerProfiler()
+        if self.planner is None:
+            self.planner = BurstParallelPlanner(self.fabric, self.profiler)
+
+    def evaluate(
+        self,
+        foreground: TrainingJob,
+        background: TrainingJob,
+        total_gpus: int,
+        foreground_gpus: int,
+    ) -> ScenarioThroughput:
+        """Throughput of one static partition configuration."""
+        if not (1 <= foreground_gpus <= total_gpus):
+            raise ValueError(
+                f"foreground_gpus must be in [1, {total_gpus}], got {foreground_gpus}"
+            )
+        assert self.planner is not None and self.profiler is not None
+        plan = self.planner.data_parallel_plan(
+            foreground.graph, foreground.global_batch, foreground_gpus
+        )
+        fg_throughput = foreground.global_batch / plan.iteration_time
+
+        bg_gpus = total_gpus - foreground_gpus
+        bg_iter = self.profiler.iteration_compute_time(
+            background.graph, background.global_batch
+        )
+        bg_each = background.global_batch / bg_iter if bg_iter > 0 else 0.0
+        return ScenarioThroughput(
+            label=f"Partition {foreground_gpus}+{bg_gpus}",
+            fg_throughput=fg_throughput,
+            bg_throughput=bg_each * bg_gpus,
+            fg_iteration_time=plan.iteration_time,
+            num_gpus=total_gpus,
+        )
+
+    def sweep(
+        self,
+        foreground: TrainingJob,
+        background: TrainingJob,
+        total_gpus: int,
+        foreground_gpu_options: Sequence[int] = (1, 2, 4, 8),
+    ) -> List[ScenarioThroughput]:
+        """All partition configurations of Figure 10's baseline."""
+        return [
+            self.evaluate(foreground, background, total_gpus, k)
+            for k in foreground_gpu_options
+            if k <= total_gpus
+        ]
+
+    def tradeoff_points(
+        self,
+        foreground: TrainingJob,
+        background: TrainingJob,
+        total_gpus: int,
+        foreground_gpu_options: Sequence[int] = (1, 2, 4, 8),
+    ) -> List[TradeoffPoint]:
+        """Partition configurations as (speedup, cluster throughput) points."""
+        assert self.planner is not None
+        single = self.planner.single_gpu_plan(foreground.graph, foreground.global_batch)
+        points = []
+        for scenario in self.sweep(
+            foreground, background, total_gpus, foreground_gpu_options
+        ):
+            speedup = single.iteration_time / scenario.fg_iteration_time
+            points.append(
+                TradeoffPoint(
+                    label=scenario.label,
+                    fg_speedup=speedup,
+                    cluster_throughput=scenario.total_throughput,
+                )
+            )
+        return points

@@ -1,0 +1,63 @@
+"""Per-GPU runtime and task manager.
+
+Each GPU in a DeepPool cluster runs a host-side runtime whose task manager
+schedules one distributed foreground job and one local low-priority
+background job (paper Figure 6).  In the reproduction, the runtime tracks
+which foreground stages its GPU participates in (and for how long per
+iteration), plus the background job attached to the GPU; the cluster
+executor uses this per-GPU occupancy to work out how much background
+throughput each GPU can contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.planner.plan import LayerAssignment
+from .job import TrainingJob
+
+__all__ = ["GPURuntime"]
+
+
+@dataclass
+class GPURuntime:
+    """State of one GPU's DeepPool runtime within an iteration.
+
+    Attributes
+    ----------
+    gpu_id:
+        Index of the GPU in the cluster.
+    foreground_busy_time:
+        Time per iteration this GPU spends executing foreground stages.
+    foreground_assignments:
+        The foreground layer assignments placed on this GPU.
+    background_job:
+        The local background job collocated on this GPU, if any.
+    """
+
+    gpu_id: int
+    foreground_busy_time: float = 0.0
+    foreground_assignments: List[LayerAssignment] = field(default_factory=list)
+    background_job: Optional[TrainingJob] = None
+
+    def assign_stage(self, assignment: LayerAssignment) -> None:
+        """Record that this GPU participates in a foreground stage."""
+        self.foreground_assignments.append(assignment)
+        self.foreground_busy_time += assignment.stage_time
+
+    def attach_background(self, job: TrainingJob) -> None:
+        """Attach a local background job to this GPU's task manager."""
+        if not job.is_background:
+            raise ValueError(f"job {job.name!r} is not a background job")
+        self.background_job = job
+
+    def busy_fraction(self, iteration_time: float) -> float:
+        """Fraction of the iteration this GPU is busy with foreground work."""
+        if iteration_time <= 0:
+            return 0.0
+        return min(1.0, self.foreground_busy_time / iteration_time)
+
+    def idle_fraction(self, iteration_time: float) -> float:
+        """Fraction of the iteration this GPU has no foreground work."""
+        return 1.0 - self.busy_fraction(iteration_time)

@@ -1,0 +1,71 @@
+"""Cluster-level throughput accounting and reporting (Figures 9 and 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ScenarioThroughput", "TradeoffPoint", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ScenarioThroughput:
+    """Cluster-wide training throughput of one scenario (one bar of Figure 9).
+
+    Attributes
+    ----------
+    label:
+        Scenario name ("DP", "BP", "BP + Col", "BG Only", "Partition k+m"...).
+    fg_throughput:
+        Foreground samples per second across the whole cluster.
+    bg_throughput:
+        Background samples per second across the whole cluster.
+    fg_iteration_time:
+        Foreground iteration time (seconds), if a foreground job ran.
+    num_gpus:
+        Cluster size used by the scenario.
+    """
+
+    label: str
+    fg_throughput: float
+    bg_throughput: float
+    fg_iteration_time: float = 0.0
+    num_gpus: int = 0
+
+    @property
+    def total_throughput(self) -> float:
+        """Combined foreground + background samples per second."""
+        return self.fg_throughput + self.bg_throughput
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point of the Figure 10 trade-off study."""
+
+    label: str
+    fg_speedup: float
+    cluster_throughput: float
+    amplification_limit: float = float("inf")
+    bg_batch_size: int = 0
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """True when this point is at least as good on both axes and better on one."""
+        at_least = (
+            self.fg_speedup >= other.fg_speedup
+            and self.cluster_throughput >= other.cluster_throughput
+        )
+        strictly = (
+            self.fg_speedup > other.fg_speedup
+            or self.cluster_throughput > other.cluster_throughput
+        )
+        return at_least and strictly
+
+
+def pareto_frontier(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Non-dominated subset of trade-off points, sorted by foreground speedup."""
+    frontier = [
+        p
+        for p in points
+        if not any(other.dominates(p) for other in points if other is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.fg_speedup)

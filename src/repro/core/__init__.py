@@ -1,0 +1,15 @@
+"""DeepPool's core contribution: burst-parallel planning and GPU multiplexing."""
+
+from .planner import (
+    BurstParallelPlanner,
+    LayerAssignment,
+    PlannerConfig,
+    TrainingPlan,
+)
+
+__all__ = [
+    "BurstParallelPlanner",
+    "PlannerConfig",
+    "TrainingPlan",
+    "LayerAssignment",
+]

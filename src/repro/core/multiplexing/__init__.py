@@ -1,0 +1,34 @@
+"""GPU multiplexing (the paper's Section 5).
+
+Public API:
+
+* :class:`~repro.core.multiplexing.config.MultiplexConfig` and
+  :func:`~repro.core.multiplexing.config.figure11_stages` — mechanism
+  configuration and the Figure 11 ablation stages.
+* :class:`~repro.core.multiplexing.collocation.GPUCollocationRunner` —
+  foreground/background collocation scenarios on the simulated GPU.
+* :func:`~repro.core.multiplexing.collocation.pairwise_collocation_matrix` —
+  the Figure 12 synthetic-kernel matrix.
+* :class:`~repro.core.multiplexing.slowdown.SlowdownMonitor` — the
+  per-operator slowdown feedback loop.
+"""
+
+from .config import MultiplexConfig, figure11_stages
+from .collocation import (
+    CollocationResult,
+    GPUCollocationRunner,
+    PairwiseCollocationCell,
+    pairwise_collocation_matrix,
+)
+from .slowdown import OperatorSlowdown, SlowdownMonitor
+
+__all__ = [
+    "MultiplexConfig",
+    "figure11_stages",
+    "GPUCollocationRunner",
+    "CollocationResult",
+    "PairwiseCollocationCell",
+    "pairwise_collocation_matrix",
+    "SlowdownMonitor",
+    "OperatorSlowdown",
+]

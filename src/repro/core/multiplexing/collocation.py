@@ -1,0 +1,287 @@
+"""Collocation experiments: foreground QoS vs background throughput.
+
+Drives the GPU device simulator to answer the paper's multiplexing questions:
+
+* how much background throughput can be packed onto a GPU next to a
+  strong-scaled foreground job, and at what cost to the foreground
+  (Figures 9 and 11);
+* which mechanisms are responsible for preserving foreground QoS
+  (Figure 11's cumulative ablation);
+* which kernel shapes collocate well under a non-preemptive scheduler
+  (Figure 12's pairwise synthetic-kernel matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...gpu.device import DeviceConfig, GPUSimulator, SimulationResult
+from ...gpu.kernel import TaskWorkload
+from ...gpu.workload import TrainingTaskBuilder, synthetic_workload
+from ...models.graph import ModelGraph
+from ...network.fabric import NetworkFabric
+from ...profiler.layer_profiler import LayerProfiler
+from .config import MultiplexConfig, figure11_stages
+from .slowdown import SlowdownMonitor
+
+__all__ = [
+    "CollocationResult",
+    "GPUCollocationRunner",
+    "PairwiseCollocationCell",
+    "pairwise_collocation_matrix",
+]
+
+#: Stream priorities used for the two jobs.
+FG_PRIORITY = 1
+BG_PRIORITY = 0
+
+
+@dataclass(frozen=True)
+class CollocationResult:
+    """Outcome of one collocation scenario on a single GPU."""
+
+    label: str
+    fg_throughput: float
+    bg_throughput: float
+    fg_isolated_throughput: float
+    device_utilization: float
+
+    @property
+    def fg_slowdown(self) -> float:
+        """Foreground slowdown factor relative to running alone (>= ~1)."""
+        if self.fg_throughput <= 0:
+            return float("inf")
+        return self.fg_isolated_throughput / self.fg_throughput
+
+    @property
+    def fg_qos(self) -> float:
+        """Fraction of isolated foreground throughput retained (0..1]."""
+        if self.fg_isolated_throughput <= 0:
+            return 1.0
+        return min(1.0, self.fg_throughput / self.fg_isolated_throughput)
+
+    @property
+    def total_throughput(self) -> float:
+        return self.fg_throughput + self.bg_throughput
+
+
+class GPUCollocationRunner:
+    """Runs foreground/background collocation scenarios on the simulated GPU."""
+
+    def __init__(
+        self,
+        profiler: Optional[LayerProfiler] = None,
+        fabric: Optional[NetworkFabric] = None,
+        sim_time: float = 0.25,
+    ) -> None:
+        if sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.fabric = fabric
+        self.builder = TrainingTaskBuilder(self.profiler, fabric)
+        self.sim_time = sim_time
+
+    # ----------------------------------------------------------------- tasks
+    def _fg_task(
+        self,
+        graph: ModelGraph,
+        per_gpu_batch: int,
+        config: MultiplexConfig,
+        sync_gpus: int,
+    ) -> TaskWorkload:
+        return self.builder.build_task(
+            graph,
+            per_gpu_batch,
+            task_id="fg",
+            priority=FG_PRIORITY if config.use_stream_priorities else BG_PRIORITY,
+            use_cuda_graphs=config.use_cuda_graphs,
+            graph_split_size=config.graph_split_size,
+            max_outstanding_ops=config.fg_outstanding_ops,
+            sync_gpus=sync_gpus,
+        )
+
+    def _bg_task(
+        self, graph: ModelGraph, config: MultiplexConfig
+    ) -> TaskWorkload:
+        return self.builder.build_task(
+            graph,
+            config.bg_batch_size,
+            task_id="bg",
+            priority=BG_PRIORITY,
+            use_cuda_graphs=config.use_cuda_graphs,
+            graph_split_size=config.graph_split_size,
+            max_outstanding_ops=config.bg_outstanding_ops,
+            sync_gpus=1,  # background jobs are single-GPU (paper Section 1)
+        )
+
+    def _device_config(self, config: MultiplexConfig) -> DeviceConfig:
+        return DeviceConfig(
+            use_stream_priorities=config.use_stream_priorities,
+            exclusive_sensitive_ops=config.slowdown_feedback,
+        )
+
+    # ------------------------------------------------------------------ runs
+    def run_isolated(
+        self,
+        graph: ModelGraph,
+        per_gpu_batch: int,
+        config: MultiplexConfig,
+        sync_gpus: int = 1,
+    ) -> SimulationResult:
+        """Run the foreground job alone on the GPU."""
+        fg = self._fg_task(graph, per_gpu_batch, config, sync_gpus)
+        sim = GPUSimulator([fg], self._device_config(config))
+        return sim.run(self.sim_time)
+
+    def run_scenario(
+        self,
+        fg_graph: ModelGraph,
+        fg_per_gpu_batch: int,
+        bg_graph: Optional[ModelGraph],
+        config: MultiplexConfig,
+        sync_gpus: int = 1,
+        label: str = "",
+    ) -> CollocationResult:
+        """Run one scenario and report foreground/background throughput."""
+        isolated = self.run_isolated(fg_graph, fg_per_gpu_batch, config, sync_gpus)
+        fg_isolated = isolated.throughput("fg")
+
+        if not config.collocate_background or bg_graph is None:
+            return CollocationResult(
+                label=label or "isolated",
+                fg_throughput=fg_isolated,
+                bg_throughput=0.0,
+                fg_isolated_throughput=fg_isolated,
+                device_utilization=isolated.device_utilization,
+            )
+
+        fg = self._fg_task(fg_graph, fg_per_gpu_batch, config, sync_gpus)
+        bg = self._bg_task(bg_graph, config)
+        sim = GPUSimulator([fg, bg], self._device_config(config))
+        result = sim.run(self.sim_time)
+        return CollocationResult(
+            label=label or "collocated",
+            fg_throughput=result.throughput("fg"),
+            bg_throughput=result.throughput("bg"),
+            fg_isolated_throughput=fg_isolated,
+            device_utilization=result.device_utilization,
+        )
+
+    def background_only_throughput(
+        self, bg_graph: ModelGraph, config: MultiplexConfig
+    ) -> float:
+        """Throughput of the background job running alone on the GPU."""
+        bg = self._bg_task(bg_graph, config)
+        sim = GPUSimulator([bg], self._device_config(config))
+        return sim.run(self.sim_time).throughput("bg")
+
+    # ------------------------------------------------------------- ablations
+    def mechanism_ablation(
+        self,
+        fg_graph: ModelGraph,
+        fg_per_gpu_batch: int,
+        bg_graph: ModelGraph,
+        sync_gpus: int = 8,
+        naive_bg_batch: int = 16,
+        reduced_bg_batch: int = 4,
+    ) -> List[CollocationResult]:
+        """The Figure 11 cumulative-mechanism ablation on one GPU."""
+        results = []
+        for label, config in figure11_stages(naive_bg_batch, reduced_bg_batch):
+            results.append(
+                self.run_scenario(
+                    fg_graph,
+                    fg_per_gpu_batch,
+                    bg_graph,
+                    config,
+                    sync_gpus=sync_gpus,
+                    label=label,
+                )
+            )
+        return results
+
+    def measure_slowdowns(
+        self,
+        fg_graph: ModelGraph,
+        fg_per_gpu_batch: int,
+        bg_graph: ModelGraph,
+        config: MultiplexConfig,
+        sync_gpus: int = 8,
+    ) -> SlowdownMonitor:
+        """Run the slowdown feedback loop's measurement step.
+
+        Compares per-operator foreground durations with and without the
+        background job and returns the monitor with its observations, whose
+        :meth:`~repro.core.multiplexing.slowdown.SlowdownMonitor.sensitive_operators`
+        are the operators DeepPool would exclude from collocation.
+        """
+        isolated = self.run_isolated(fg_graph, fg_per_gpu_batch, config, sync_gpus)
+        fg = self._fg_task(fg_graph, fg_per_gpu_batch, config, sync_gpus)
+        bg = self._bg_task(bg_graph, config)
+        collocated = GPUSimulator(
+            [fg, bg],
+            self._device_config(config.with_overrides(slowdown_feedback=False)),
+        ).run(self.sim_time)
+        monitor = SlowdownMonitor(threshold=config.slowdown_threshold)
+        monitor.observe(isolated.task("fg"), collocated.task("fg"))
+        return monitor
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: pairwise collocation of synthetic kernels.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PairwiseCollocationCell:
+    """One cell of the Figure 12 matrix."""
+
+    high_priority_label: str
+    low_priority_label: str
+    relative_throughput: float
+
+
+def pairwise_collocation_matrix(
+    kernel_specs: Sequence[Tuple[str, float, float]],
+    sim_time: float = 0.2,
+    device_config: Optional[DeviceConfig] = None,
+) -> List[PairwiseCollocationCell]:
+    """Collocate every pair of synthetic kernel types (Figure 12).
+
+    ``kernel_specs`` is a list of ``(label, duration_seconds, occupancy)``
+    tuples.  For each (high-priority, low-priority) pair, the high-priority
+    kernel stream's achieved throughput is reported as a fraction of its
+    throughput when running alone.
+    """
+    config = device_config if device_config is not None else DeviceConfig(
+        use_stream_priorities=True
+    )
+    cells: List[PairwiseCollocationCell] = []
+    isolated_cache: Dict[str, float] = {}
+
+    def isolated_throughput(label: str, duration: float, occupancy: float) -> float:
+        if label not in isolated_cache:
+            hp = synthetic_workload("hp", duration, occupancy, priority=FG_PRIORITY)
+            result = GPUSimulator([hp], config).run(sim_time)
+            isolated_cache[label] = result.throughput("hp")
+        return isolated_cache[label]
+
+    for hp_label, hp_dur, hp_occ in kernel_specs:
+        base = isolated_throughput(hp_label, hp_dur, hp_occ)
+        for lp_label, lp_dur, lp_occ in kernel_specs:
+            hp = synthetic_workload("hp", hp_dur, hp_occ, priority=FG_PRIORITY)
+            lp = synthetic_workload(
+                "lp", lp_dur, lp_occ, priority=BG_PRIORITY, max_outstanding_ops=2
+            )
+            result = GPUSimulator([hp, lp], config).run(sim_time)
+            achieved = result.throughput("hp")
+            relative = 1.0 if base <= 0 else min(1.0, achieved / base)
+            cells.append(
+                PairwiseCollocationCell(
+                    high_priority_label=hp_label,
+                    low_priority_label=lp_label,
+                    relative_throughput=relative,
+                )
+            )
+    return cells

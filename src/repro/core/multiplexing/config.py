@@ -1,0 +1,108 @@
+"""Multiplexing configuration: the mechanism toggles of the Figure 11 ablation.
+
+DeepPool's execution engine combines several mechanisms to let a low-priority
+background job reclaim idle GPU cycles without hurting the foreground job:
+CUDA graphs, CUDA stream priorities, launch pacing, a per-operator slowdown
+feedback loop, and background batch-size reduction.  :class:`MultiplexConfig`
+bundles the switches, and :func:`figure11_stages` enumerates the cumulative
+configurations the paper uses to attribute the benefit of each mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+__all__ = ["MultiplexConfig", "figure11_stages"]
+
+
+@dataclass(frozen=True)
+class MultiplexConfig:
+    """Configuration of the per-GPU execution engine.
+
+    Attributes
+    ----------
+    use_cuda_graphs:
+        Capture each job's iteration into CUDA graphs (amortizing kernel
+        launch overheads).
+    collocate_background:
+        Whether a background job is run on the GPU at all.
+    use_stream_priorities:
+        Give the foreground job a higher-priority CUDA stream.
+    fg_outstanding_ops / bg_outstanding_ops:
+        Launch pacing: maximum launches in flight per job (``None`` =
+        unbounded, the naive behaviour).
+    slowdown_feedback:
+        Pause background launches around foreground operators observed to
+        suffer large slowdowns (NCCL all-reduce).
+    bg_batch_size:
+        Per-GPU batch size of the background job; DeepPool reduces it to keep
+        background kernels short on a non-preemptive device.
+    graph_split_size:
+        Maximum kernels per CUDA-graph launch segment (large graphs are split
+        to bound head-of-line blocking).
+    slowdown_threshold:
+        Observed-vs-isolated duration ratio above which an operator is
+        declared collocation-sensitive by the feedback loop.
+    """
+
+    use_cuda_graphs: bool = True
+    collocate_background: bool = True
+    use_stream_priorities: bool = True
+    fg_outstanding_ops: Optional[int] = 4
+    bg_outstanding_ops: Optional[int] = 2
+    slowdown_feedback: bool = True
+    bg_batch_size: int = 4
+    graph_split_size: Optional[int] = 24
+    slowdown_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.bg_batch_size < 1:
+            raise ValueError("bg_batch_size must be at least 1")
+        if self.slowdown_threshold < 1.0:
+            raise ValueError("slowdown_threshold must be at least 1.0")
+
+    def with_overrides(self, **changes) -> "MultiplexConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **changes)
+
+
+def figure11_stages(
+    naive_bg_batch: int = 16, reduced_bg_batch: int = 4
+) -> List[Tuple[str, MultiplexConfig]]:
+    """The cumulative mechanism stages of Figure 11, bottom row upward.
+
+    Each stage adds one mechanism on top of the previous stage:
+
+    1. ``VGG BP`` — foreground job only, no CUDA graphs.
+    2. ``+ Graph`` — enable CUDA graphs for the foreground job.
+    3. ``+ Naive Collocation`` — add the background job with no protection.
+    4. ``+ Stream Priorities`` — prioritize the foreground stream.
+    5. ``+ Launch Pacing`` — bound outstanding launches per job.
+    6. ``+ Slowdown Feedback Loop`` — pause collocation around sensitive ops.
+    7. ``+ Reducing BE Batch Size`` — shrink the background batch size.
+    """
+    stages: List[Tuple[str, MultiplexConfig]] = []
+    base = MultiplexConfig(
+        use_cuda_graphs=False,
+        collocate_background=False,
+        use_stream_priorities=False,
+        fg_outstanding_ops=4,
+        bg_outstanding_ops=None,
+        slowdown_feedback=False,
+        bg_batch_size=naive_bg_batch,
+    )
+    stages.append(("VGG BP", base))
+    with_graph = base.with_overrides(use_cuda_graphs=True)
+    stages.append(("+ Graph", with_graph))
+    naive = with_graph.with_overrides(collocate_background=True)
+    stages.append(("+ Naive Collocation", naive))
+    prio = naive.with_overrides(use_stream_priorities=True)
+    stages.append(("+ Stream Priorities", prio))
+    paced = prio.with_overrides(bg_outstanding_ops=2)
+    stages.append(("+ Launch Pacing", paced))
+    feedback = paced.with_overrides(slowdown_feedback=True)
+    stages.append(("+ Slowdown Feedback Loop", feedback))
+    small_bg = feedback.with_overrides(bg_batch_size=reduced_bg_batch)
+    stages.append(("+ Reducing BE Batch Size", small_bg))
+    return stages

@@ -1,0 +1,90 @@
+"""Per-operator slowdown feedback loop.
+
+DeepPool's execution engine "monitors the runtimes of each operation, and
+pauses collocation when a foreground job runs an operator that has been
+observed to suffer large slowdowns" (paper Section 5).  The monitor compares
+observed per-operator durations under collocation against the durations
+measured in isolation and flags operators whose slowdown exceeds a threshold;
+the executor then excludes background work around those operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from ...gpu.device import TaskStats
+
+__all__ = ["OperatorSlowdown", "SlowdownMonitor"]
+
+
+@dataclass(frozen=True)
+class OperatorSlowdown:
+    """Observed slowdown of one operator under collocation."""
+
+    name: str
+    isolated_time: float
+    collocated_time: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.isolated_time <= 0:
+            return 1.0
+        return self.collocated_time / self.isolated_time
+
+
+@dataclass
+class SlowdownMonitor:
+    """Flags operators whose collocated runtime exceeds a slowdown threshold."""
+
+    threshold: float = 1.5
+    observations: Dict[str, OperatorSlowdown] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1.0:
+            raise ValueError("threshold must be at least 1.0")
+
+    # ------------------------------------------------------------------ feed
+    def observe(self, isolated: TaskStats, collocated: TaskStats) -> None:
+        """Record per-operator durations from two simulation runs."""
+        for name, iso_total in isolated.kernel_time_by_name.items():
+            iso_count = isolated.kernel_count_by_name.get(name, 0)
+            col_count = collocated.kernel_count_by_name.get(name, 0)
+            if iso_count == 0 or col_count == 0:
+                continue
+            iso_mean = iso_total / iso_count
+            col_mean = collocated.kernel_time_by_name[name] / col_count
+            self.observations[name] = OperatorSlowdown(
+                name=name, isolated_time=iso_mean, collocated_time=col_mean
+            )
+
+    def observe_durations(
+        self, isolated: Mapping[str, float], collocated: Mapping[str, float]
+    ) -> None:
+        """Record per-operator mean durations directly (for unit tests)."""
+        for name, iso in isolated.items():
+            if name not in collocated:
+                continue
+            self.observations[name] = OperatorSlowdown(
+                name=name, isolated_time=iso, collocated_time=collocated[name]
+            )
+
+    # ----------------------------------------------------------------- query
+    def sensitive_operators(self) -> List[str]:
+        """Operators whose slowdown exceeds the threshold (collocation banned)."""
+        return sorted(
+            name
+            for name, obs in self.observations.items()
+            if obs.slowdown > self.threshold
+        )
+
+    def slowdown_of(self, name: str) -> float:
+        if name not in self.observations:
+            return 1.0
+        return self.observations[name].slowdown
+
+    def worst(self) -> OperatorSlowdown | None:
+        """The operator suffering the largest slowdown, if any was observed."""
+        if not self.observations:
+            return None
+        return max(self.observations.values(), key=lambda o: o.slowdown)

@@ -1,0 +1,440 @@
+"""Graph reduction: turning a branching DNN graph into a chain of blocks.
+
+Models such as Inception-V3 are not simple chains: a layer may fan out into
+several parallel branches that later join (concatenation), and branches may
+nest.  The paper (Section 4.2, Figure 7) reduces such graphs to a chain by
+identifying, for every branching layer, the matching joining layer and
+treating everything in between as a single chain element whose transition
+cost is obtained from per-branch linear searches.
+
+Implementation outline
+----------------------
+* The *trunk* of the graph — the layers every input-to-output path passes
+  through — is the chain of dominators of the sink node.  Trunk layers become
+  ordinary :class:`LayerNode` elements.
+* When two consecutive trunk layers have other layers between them, those
+  layers (grouped into weakly connected components) are the block's branches;
+  a direct edge between the trunk layers adds an empty "identity" branch
+  (e.g. a residual shortcut).  The pair becomes a :class:`BlockNode`.
+* A :class:`BlockNode`'s transition cost ``tr((A1, g) -> (A2, h))`` runs the
+  linear search on every branch with the branching layer fixed at ``g`` and
+  the joining layer fixed at ``h``, then lets the joining layer pick the
+  critical branch and schedule each non-critical branch either concurrently
+  (on spare GPUs, if it fits within the critical branch's time) or serially —
+  exactly the procedure of Figure 7, step 2.
+* Branches are built recursively, so nested branch/join structures (such as
+  the split 1x3 / 3x1 tails inside InceptionE) reduce naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ...models.graph import GraphValidationError, ModelGraph
+from .costs import PlannerCostModel
+from .linear_search import ChainSolution, solve_chain
+from .plan import LayerAssignment
+
+__all__ = ["LayerNode", "BlockNode", "build_chain_nodes"]
+
+
+@dataclass
+class LayerNode:
+    """A single trunk layer in the reduced chain."""
+
+    costs: PlannerCostModel
+    layer_id: int
+    candidates: Sequence[int]
+
+    def __post_init__(self) -> None:
+        spec = self.costs.graph.spec(self.layer_id)
+        self.exit_layer_id = self.layer_id
+        self._name = spec.name
+        self._op = spec.op
+
+    def candidate_gpus(self) -> Sequence[int]:
+        return self.candidates
+
+    def node_cost(self, num_gpus: int) -> float:
+        return self.costs.node_cost(self.layer_id, num_gpus)
+
+    def single_gpu_cost(self) -> float:
+        return self.costs.comp(self.layer_id, 1)
+
+    def transition_cost(
+        self, prev_exit_layer: Optional[int], prev_gpus: int, num_gpus: int
+    ) -> float:
+        if prev_exit_layer is None:
+            return 0.0
+        return self.costs.comm(prev_exit_layer, prev_gpus, self.layer_id, num_gpus)
+
+    def assignments(
+        self, prev_gpus: int, num_gpus: int, stage_time: float, transition_time: float
+    ) -> List[LayerAssignment]:
+        del prev_gpus, stage_time
+        return [
+            LayerAssignment(
+                layer_id=self.layer_id,
+                layer_name=self._name,
+                op=self._op,
+                num_gpus=num_gpus,
+                compute_time=self.costs.comp(self.layer_id, num_gpus),
+                sync_time=self.costs.sync(self.layer_id, num_gpus),
+                comm_time=transition_time,
+            )
+        ]
+
+
+@dataclass
+class _BranchOutcome:
+    """Result of solving one branch for a fixed (branch-layer, join-layer) pair."""
+
+    time: float
+    max_gpus: int
+    assignments: List[LayerAssignment]
+    is_empty: bool
+
+
+@dataclass
+class BlockNode:
+    """A branch/join block reduced to a single chain element.
+
+    The element's "own" layer is the joining layer; the branches contribute
+    through the transition cost from the branching layer's width to the
+    joining layer's width.
+    """
+
+    costs: PlannerCostModel
+    branch_layer_id: int
+    join_layer_id: int
+    branches: List[List[object]]  # lists of ChainNode-compatible elements
+    has_identity_branch: bool
+    candidates: Sequence[int]
+    total_gpus: int
+    amp_limit: float
+
+    def __post_init__(self) -> None:
+        spec = self.costs.graph.spec(self.join_layer_id)
+        self.exit_layer_id = self.join_layer_id
+        self._name = spec.name
+        self._op = spec.op
+        self._cache: Dict[Tuple[int, int], Tuple[float, List[LayerAssignment]]] = {}
+
+    # --------------------------------------------------------------- protocol
+    def candidate_gpus(self) -> Sequence[int]:
+        return self.candidates
+
+    def node_cost(self, num_gpus: int) -> float:
+        return self.costs.node_cost(self.join_layer_id, num_gpus)
+
+    def single_gpu_cost(self) -> float:
+        return self.costs.comp(self.join_layer_id, 1)
+
+    def transition_cost(
+        self, prev_exit_layer: Optional[int], prev_gpus: int, num_gpus: int
+    ) -> float:
+        del prev_exit_layer  # always the branching layer
+        time, _ = self._solve_block(prev_gpus, num_gpus)
+        return time
+
+    def assignments(
+        self, prev_gpus: int, num_gpus: int, stage_time: float, transition_time: float
+    ) -> List[LayerAssignment]:
+        del stage_time, transition_time
+        _, branch_assignments = self._solve_block(prev_gpus, num_gpus)
+        join_assignment = LayerAssignment(
+            layer_id=self.join_layer_id,
+            layer_name=self._name,
+            op=self._op,
+            num_gpus=num_gpus,
+            compute_time=self.costs.comp(self.join_layer_id, num_gpus),
+            sync_time=self.costs.sync(self.join_layer_id, num_gpus),
+            comm_time=0.0,
+        )
+        return list(branch_assignments) + [join_assignment]
+
+    # ------------------------------------------------------------------ block
+    def _solve_branch(
+        self, branch_nodes: List[object], branch_gpus: int, join_gpus: int
+    ) -> _BranchOutcome:
+        """Best time through one branch given fixed endpoint widths."""
+        if not branch_nodes:
+            # Identity branch (e.g. a residual shortcut): only the producer's
+            # activations must reach the join layer's GPUs.
+            time = self.costs.comm(
+                self.branch_layer_id, branch_gpus, self.join_layer_id, join_gpus
+            )
+            return _BranchOutcome(time=time, max_gpus=0, assignments=[], is_empty=True)
+
+        sink = _JoinSinkNode(self.costs, self.join_layer_id, join_gpus)
+        solution = solve_chain(
+            list(branch_nodes) + [sink],
+            amp_limit=self.amp_limit,
+            entry_gpus=[branch_gpus],
+            entry_exit_layer=self.branch_layer_id,
+        )
+        assignments: List[LayerAssignment] = []
+        prev = branch_gpus
+        for decision, node in zip(solution.decisions[:-1], branch_nodes):
+            assignments.extend(
+                node.assignments(
+                    prev, decision.num_gpus, decision.stage_time, decision.transition_time
+                )
+            )
+            prev = decision.num_gpus
+        max_gpus = max((d.num_gpus for d in solution.decisions[:-1]), default=0)
+        return _BranchOutcome(
+            time=solution.total_time,
+            max_gpus=max_gpus,
+            assignments=assignments,
+            is_empty=False,
+        )
+
+    def _solve_block(
+        self, branch_gpus: int, join_gpus: int
+    ) -> Tuple[float, List[LayerAssignment]]:
+        """Transition cost and branch assignments for one (g, h) pair."""
+        key = (branch_gpus, join_gpus)
+        if key in self._cache:
+            return self._cache[key]
+
+        outcomes = [
+            self._solve_branch(branch, branch_gpus, join_gpus)
+            for branch in self.branches
+        ]
+        if self.has_identity_branch:
+            outcomes.append(self._solve_branch([], branch_gpus, join_gpus))
+
+        # The joining layer waits for the critical (slowest) branch; other
+        # branches may run concurrently on spare GPUs if they fit within the
+        # critical branch's time, otherwise they serialize (Figure 7, step 2).
+        outcomes.sort(key=lambda o: o.time, reverse=True)
+        critical = outcomes[0]
+        block_time = critical.time
+        gpu_budget = self.total_gpus - max(critical.max_gpus, 1)
+        assignments: List[LayerAssignment] = list(critical.assignments)
+        for other in outcomes[1:]:
+            runs_parallel = (
+                not other.is_empty
+                and other.max_gpus <= gpu_budget
+                and other.time <= critical.time
+            ) or (other.is_empty and other.time <= critical.time)
+            if runs_parallel:
+                gpu_budget -= other.max_gpus
+                assignments.extend(
+                    LayerAssignment(
+                        layer_id=a.layer_id,
+                        layer_name=a.layer_name,
+                        op=a.op,
+                        num_gpus=a.num_gpus,
+                        compute_time=a.compute_time,
+                        sync_time=a.sync_time,
+                        comm_time=a.comm_time,
+                        parallel_branch=True,
+                    )
+                    for a in other.assignments
+                )
+            else:
+                block_time += other.time
+                assignments.extend(other.assignments)
+
+        self._cache[key] = (block_time, assignments)
+        return self._cache[key]
+
+
+@dataclass
+class _JoinSinkNode:
+    """Virtual terminal node used to price a branch's hand-off to the join layer."""
+
+    costs: PlannerCostModel
+    join_layer_id: int
+    join_gpus: int
+
+    def __post_init__(self) -> None:
+        self.exit_layer_id = self.join_layer_id
+
+    def candidate_gpus(self) -> Sequence[int]:
+        return [self.join_gpus]
+
+    def node_cost(self, num_gpus: int) -> float:
+        del num_gpus
+        return 0.0
+
+    def single_gpu_cost(self) -> float:
+        return 0.0
+
+    def transition_cost(
+        self, prev_exit_layer: Optional[int], prev_gpus: int, num_gpus: int
+    ) -> float:
+        if prev_exit_layer is None:
+            return 0.0
+        return self.costs.comm(prev_exit_layer, prev_gpus, self.join_layer_id, num_gpus)
+
+    def assignments(
+        self, prev_gpus: int, num_gpus: int, stage_time: float, transition_time: float
+    ) -> List[LayerAssignment]:
+        return []
+
+
+# --------------------------------------------------------------------------
+# Decomposition of a ModelGraph into chain nodes.
+# --------------------------------------------------------------------------
+
+class _SubgraphView:
+    """Read-only view of a subset of a ModelGraph with its own source/sink."""
+
+    def __init__(self, graph: ModelGraph, nodes: set, source: int, sink: int) -> None:
+        self._graph = graph
+        self._nodes = nodes
+        self._source = source
+        self._sink = sink
+        self.name = f"{graph.name}[{source}..{sink}]"
+
+    def layer_ids(self) -> List[int]:
+        return [n for n in self._graph.topological_order() if n in self._nodes]
+
+    def topological_order(self) -> List[int]:
+        return self.layer_ids()
+
+    def spec(self, layer_id: int):
+        return self._graph.spec(layer_id)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [
+            (a, b)
+            for a, b in self._graph.edges()
+            if a in self._nodes and b in self._nodes
+        ]
+
+    def predecessors(self, layer_id: int) -> List[int]:
+        return [p for p in self._graph.predecessors(layer_id) if p in self._nodes]
+
+    def successors(self, layer_id: int) -> List[int]:
+        return [s for s in self._graph.successors(layer_id) if s in self._nodes]
+
+    def source(self) -> int:
+        return self._source
+
+    def sink(self) -> int:
+        return self._sink
+
+    def subgraph_between(self, start: int, end: int) -> List[int]:
+        return [
+            n
+            for n in self._graph.subgraph_between(start, end)
+            if n in self._nodes
+        ]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def _build_nodes_for_view(
+    view,
+    costs: PlannerCostModel,
+    candidates: Sequence[int],
+    total_gpus: int,
+    amp_limit: float,
+) -> List[object]:
+    """Decompose a graph (or subgraph view) into a chain of planner nodes."""
+    # Trunk of the view: dominator chain of its sink.
+    g = nx.DiGraph(view.edges())
+    g.add_nodes_from(view.layer_ids())
+    source, sink = view.source(), view.sink()
+    if len(view) == 1:
+        return [LayerNode(costs, source, candidates)]
+    idom = nx.immediate_dominators(g, source)
+    trunk = [sink]
+    node = sink
+    while node != source:
+        node = idom[node]
+        trunk.append(node)
+    trunk = list(reversed(trunk))
+
+    nodes: List[object] = [LayerNode(costs, trunk[0], candidates)]
+    for upper, lower in zip(trunk, trunk[1:]):
+        components = _branch_components_view(view, upper, lower)
+        direct_edge = lower in view.successors(upper)
+        if not components:
+            nodes.append(LayerNode(costs, lower, candidates))
+            continue
+        branch_nodes = [
+            _component_chain_nodes_view(view, comp, costs, candidates, total_gpus, amp_limit)
+            for comp in components
+        ]
+        nodes.append(
+            BlockNode(
+                costs=costs,
+                branch_layer_id=upper,
+                join_layer_id=lower,
+                branches=branch_nodes,
+                has_identity_branch=direct_edge,
+                candidates=candidates,
+                total_gpus=total_gpus,
+                amp_limit=amp_limit,
+            )
+        )
+    return nodes
+
+
+def _branch_components_view(view, upper: int, lower: int) -> List[List[int]]:
+    between = [n for n in view.subgraph_between(upper, lower) if n not in (upper, lower)]
+    if not between:
+        return []
+    g = nx.DiGraph()
+    g.add_nodes_from(between)
+    between_set = set(between)
+    for a, b in view.edges():
+        if a in between_set and b in between_set:
+            g.add_edge(a, b)
+    components = []
+    for comp in nx.weakly_connected_components(g):
+        ordered = [n for n in view.topological_order() if n in comp]
+        components.append(ordered)
+    components.sort(key=lambda c: c[0])
+    return components
+
+
+def _component_chain_nodes_view(
+    view,
+    component: List[int],
+    costs: PlannerCostModel,
+    candidates: Sequence[int],
+    total_gpus: int,
+    amp_limit: float,
+) -> List[object]:
+    comp_set = set(component)
+    sources = [n for n in component if not any(p in comp_set for p in view.predecessors(n))]
+    sinks = [n for n in component if not any(s in comp_set for s in view.successors(n))]
+    if len(sources) != 1 or len(sinks) != 1:
+        raise GraphValidationError(
+            f"branch component {sorted(component)} has {len(sources)} sources and "
+            f"{len(sinks)} sinks; the graph reduction requires single-entry "
+            "single-exit branches"
+        )
+    if isinstance(view, _SubgraphView):
+        base_graph = view._graph
+    else:
+        base_graph = view
+    sub = _SubgraphView(base_graph, comp_set, sources[0], sinks[0])
+    return _build_nodes_for_view(sub, costs, candidates, total_gpus, amp_limit)
+
+
+def build_chain_nodes(
+    graph: ModelGraph,
+    costs: PlannerCostModel,
+    candidates: Sequence[int],
+    total_gpus: int,
+    amp_limit: float,
+) -> List[object]:
+    """Reduce a model graph to the chain of planner nodes (Figure 7).
+
+    For chain models (VGG) this is simply one :class:`LayerNode` per layer;
+    for branching models each branch/join region becomes a
+    :class:`BlockNode`.
+    """
+    graph.validate()
+    return _build_nodes_for_view(graph, costs, candidates, total_gpus, amp_limit)

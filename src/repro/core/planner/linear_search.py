@@ -1,0 +1,206 @@
+"""Algorithm 1: dynamic-programming search over a chain of stages.
+
+The planner's core is a shortest-path-style dynamic program over a chain of
+layers (paper Section 4.2).  For each layer ``i`` and candidate GPU count
+``g`` it computes
+
+* ``S[i][g]`` — the shortest time to complete layers ``1..i`` with layer
+  ``i`` scaled to ``g`` GPUs, and
+* ``T[i][g]`` — the time spent on layer ``i`` along that shortest path
+  (including the communication needed to transition into it),
+
+while restricting each layer's *GPU-sec amplification*
+``Amp(i, g) = T[i][g] * g / comp(i, 1)`` to the user-given limit.  The
+amplification filter follows the paper's Algorithm 1 exactly: a predecessor
+whose amplification exceeds the limit is only usable if no predecessor with
+lower amplification has been seen yet, which keeps the recurrence total (a
+plan always exists) while steering the search toward efficient predecessors.
+
+The solver works over abstract :class:`ChainNode` elements rather than raw
+layers so that the multi-chain graph reduction (Figure 7) can feed it
+branch/join *blocks* whose transition cost already encodes the branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from .plan import LayerAssignment
+
+__all__ = ["ChainNode", "ChainSolution", "NodeDecision", "solve_chain"]
+
+
+class ChainNode(Protocol):
+    """One element of the reduced chain: a single layer or a branch/join block."""
+
+    #: Layer id whose activations feed the next chain element.
+    exit_layer_id: int
+
+    def candidate_gpus(self) -> Sequence[int]:
+        """GPU counts this node may be scaled to."""
+
+    def node_cost(self, num_gpus: int) -> float:
+        """Compute + gradient-sync time of the node at a GPU count."""
+
+    def single_gpu_cost(self) -> float:
+        """``comp(i, 1)``: amplification denominator for this node."""
+
+    def transition_cost(self, prev_exit_layer: Optional[int], prev_gpus: int,
+                        num_gpus: int) -> float:
+        """Cost of transitioning from the previous element into this node."""
+
+    def assignments(self, prev_gpus: int, num_gpus: int, stage_time: float,
+                    transition_time: float) -> List[LayerAssignment]:
+        """Layer assignments realized when this node runs at ``num_gpus``."""
+
+
+@dataclass(frozen=True)
+class NodeDecision:
+    """Backtraced decision for one chain element."""
+
+    node_index: int
+    num_gpus: int
+    stage_time: float
+    transition_time: float
+    amplification: float
+
+
+@dataclass
+class ChainSolution:
+    """Result of the chain dynamic program."""
+
+    decisions: List[NodeDecision]
+    total_time: float
+    #: Full S table (node index -> {gpus: shortest completion time}).
+    s_table: List[Dict[int, float]] = field(default_factory=list)
+    #: Full T table (node index -> {gpus: stage time on the shortest path}).
+    t_table: List[Dict[int, float]] = field(default_factory=list)
+
+    def gpus_per_node(self) -> List[int]:
+        return [d.num_gpus for d in self.decisions]
+
+    def max_amplification(self) -> float:
+        return max((d.amplification for d in self.decisions), default=0.0)
+
+
+def _amplification(node: ChainNode, num_gpus: int, stage_time: float) -> float:
+    base = node.single_gpu_cost()
+    if base <= 0.0:
+        return 0.0
+    return stage_time * num_gpus / base
+
+
+def solve_chain(
+    nodes: Sequence[ChainNode],
+    amp_limit: float,
+    entry_gpus: Sequence[int] = (1,),
+    entry_exit_layer: Optional[int] = None,
+    entry_base_s: Optional[Dict[int, float]] = None,
+) -> ChainSolution:
+    """Run Algorithm 1 over a chain of nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The chain elements, in execution order.
+    amp_limit:
+        User-given GPU-sec amplification limit (``AmpLimit``).
+    entry_gpus:
+        GPU counts the virtual predecessor of the first node may have.  For a
+        whole-model search this is ``(1,)`` with zero cost (the data loader);
+        for a branch search inside the graph reduction it is the branching
+        layer's fixed GPU count.
+    entry_exit_layer:
+        Layer id of the virtual predecessor (the branching layer) whose
+        activations the first node consumes, or ``None`` for the model input.
+    entry_base_s:
+        Optional completion time already accumulated at the virtual
+        predecessor for each entry GPU count (defaults to zero).
+    """
+    if not nodes:
+        raise ValueError("cannot solve an empty chain")
+    if amp_limit < 1.0:
+        raise ValueError("amplification limit must be at least 1.0")
+
+    entry_gpus = list(entry_gpus)
+    base_s = dict(entry_base_s) if entry_base_s else {g: 0.0 for g in entry_gpus}
+    for g in entry_gpus:
+        base_s.setdefault(g, 0.0)
+
+    num_nodes = len(nodes)
+    s_table: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+    t_table: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+    amp_table: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+    parent: List[Dict[int, int]] = [dict() for _ in range(num_nodes)]
+    trans_table: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+
+    for i, node in enumerate(nodes):
+        candidates = list(node.candidate_gpus())
+        if not candidates:
+            raise ValueError(f"chain node {i} has no candidate GPU counts")
+        if i == 0:
+            prev_candidates = entry_gpus
+            prev_exit = entry_exit_layer
+        else:
+            prev_candidates = list(nodes[i - 1].candidate_gpus())
+            prev_exit = nodes[i - 1].exit_layer_id
+
+        for g in candidates:
+            best_amp = float("inf")
+            best_s = float("inf")
+            best_t = float("inf")
+            best_parent = prev_candidates[0]
+            for h in prev_candidates:
+                if i == 0:
+                    prev_amp = 0.0
+                    prev_s = base_s[h]
+                else:
+                    prev_amp = amp_table[i - 1][h]
+                    prev_s = s_table[i - 1][h]
+                trans = node.transition_cost(prev_exit, h, g)
+                # Paper's filter: accept a predecessor if its amplification is
+                # within the limit (or no better-amplified predecessor has
+                # been found yet) and it improves the completion time.
+                if prev_amp <= max(best_amp, amp_limit) and prev_s + trans <= best_s:
+                    best_s = prev_s + trans
+                    best_t = trans
+                    best_amp = min(best_amp, prev_amp)
+                    best_parent = h
+            stage = node.node_cost(g)
+            s_table[i][g] = best_s + stage
+            t_table[i][g] = best_t + stage
+            trans_table[i][g] = best_t
+            parent[i][g] = best_parent
+            amp_table[i][g] = _amplification(node, g, t_table[i][g])
+
+    # Final selection: the cheapest terminal configuration whose own
+    # amplification respects the limit, falling back to the overall cheapest
+    # if the limit is infeasible for every width.
+    last = num_nodes - 1
+    feasible = [g for g in s_table[last] if amp_table[last][g] <= amp_limit]
+    pool = feasible if feasible else list(s_table[last].keys())
+    final_g = min(pool, key=lambda g: s_table[last][g])
+
+    # Backtrace.
+    decisions_rev: List[NodeDecision] = []
+    g = final_g
+    for i in range(num_nodes - 1, -1, -1):
+        decisions_rev.append(
+            NodeDecision(
+                node_index=i,
+                num_gpus=g,
+                stage_time=t_table[i][g],
+                transition_time=trans_table[i][g],
+                amplification=amp_table[i][g],
+            )
+        )
+        g = parent[i][g]
+    decisions = list(reversed(decisions_rev))
+
+    return ChainSolution(
+        decisions=decisions,
+        total_time=s_table[last][final_g],
+        s_table=s_table,
+        t_table=t_table,
+    )

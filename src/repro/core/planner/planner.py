@@ -1,0 +1,164 @@
+"""The burst-parallel training planner: DeepPool's public planning API.
+
+A user submits a model, a global batch size, the number of available GPUs,
+and an inefficiency tolerance (the GPU-sec amplification limit).  The planner
+profiles every layer at every candidate scale, runs the chain dynamic program
+(Algorithm 1) — after reducing branch/join graphs to a chain (Figure 7) —
+and emits a :class:`~repro.core.planner.plan.TrainingPlan` assigning a GPU
+count to every layer.
+
+Two reference plans are also provided:
+
+* :meth:`BurstParallelPlanner.data_parallel_plan` — the "DP" baseline of the
+  evaluation (every layer on all GPUs);
+* :meth:`BurstParallelPlanner.single_gpu_plan` — the whole model on one GPU,
+  used as the speedup denominator in Figure 10.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ...models.graph import ModelGraph
+from ...network.fabric import NetworkFabric
+from ...profiler.layer_profiler import LayerProfiler
+from .costs import PlannerCostModel, candidate_gpu_counts
+from .graph_reduction import build_chain_nodes
+from .linear_search import solve_chain
+from .plan import LayerAssignment, TrainingPlan
+
+__all__ = ["PlannerConfig", "BurstParallelPlanner"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner options.
+
+    Attributes
+    ----------
+    amplification_limit:
+        Default GPU-sec amplification allowed per layer (the user's
+        "inefficiency tolerance").  1.0 forbids any inefficiency; the paper's
+        experiments sweep this knob to trade foreground speed for reclaimable
+        GPU time (Figure 10).
+    powers_of_two_only:
+        Restrict layer widths to powers of two (the paper's search-space
+        optimization, Section 7.4).  Disable for the ablation study.
+    """
+
+    amplification_limit: float = 2.0
+    powers_of_two_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.amplification_limit < 1.0:
+            raise ValueError("amplification_limit must be at least 1.0")
+
+
+class BurstParallelPlanner:
+    """Finds the per-layer GPU scaling that minimizes iteration time."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        profiler: Optional[LayerProfiler] = None,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.config = config if config is not None else PlannerConfig()
+
+    # ------------------------------------------------------------------ plans
+    def plan(
+        self,
+        graph: ModelGraph,
+        global_batch: int,
+        total_gpus: int,
+        amplification_limit: Optional[float] = None,
+    ) -> TrainingPlan:
+        """Produce a burst-parallel plan for one foreground training job."""
+        amp_limit = (
+            amplification_limit
+            if amplification_limit is not None
+            else self.config.amplification_limit
+        )
+        if amp_limit < 1.0:
+            raise ValueError("amplification_limit must be at least 1.0")
+        start = time.perf_counter()
+        costs = PlannerCostModel(
+            graph=graph,
+            global_batch=global_batch,
+            fabric=self.fabric,
+            profiler=self.profiler,
+        )
+        candidates = candidate_gpu_counts(
+            total_gpus, global_batch, self.config.powers_of_two_only
+        )
+        nodes = build_chain_nodes(graph, costs, candidates, total_gpus, amp_limit)
+        solution = solve_chain(nodes, amp_limit)
+
+        assignments: List[LayerAssignment] = []
+        prev_gpus = 1
+        for decision, node in zip(solution.decisions, nodes):
+            assignments.extend(
+                node.assignments(
+                    prev_gpus,
+                    decision.num_gpus,
+                    decision.stage_time,
+                    decision.transition_time,
+                )
+            )
+            prev_gpus = decision.num_gpus
+        search_time = time.perf_counter() - start
+
+        return TrainingPlan(
+            model_name=graph.name,
+            global_batch=global_batch,
+            total_gpus=total_gpus,
+            amplification_limit=amp_limit,
+            assignments=assignments,
+            iteration_time=solution.total_time,
+            search_time=search_time,
+        )
+
+    def data_parallel_plan(
+        self, graph: ModelGraph, global_batch: int, total_gpus: int
+    ) -> TrainingPlan:
+        """The conventional data-parallel baseline: every layer on all GPUs."""
+        start = time.perf_counter()
+        costs = PlannerCostModel(
+            graph=graph,
+            global_batch=global_batch,
+            fabric=self.fabric,
+            profiler=self.profiler,
+        )
+        width = min(total_gpus, global_batch)
+        assignments = []
+        for lid in graph.layer_ids():
+            spec = graph.spec(lid)
+            assignments.append(
+                LayerAssignment(
+                    layer_id=lid,
+                    layer_name=spec.name,
+                    op=spec.op,
+                    num_gpus=width,
+                    compute_time=costs.comp(lid, width),
+                    sync_time=costs.sync(lid, width),
+                    comm_time=0.0,
+                )
+            )
+        iteration_time = sum(a.stage_time for a in assignments)
+        return TrainingPlan(
+            model_name=graph.name,
+            global_batch=global_batch,
+            total_gpus=total_gpus,
+            amplification_limit=float("inf"),
+            assignments=assignments,
+            iteration_time=iteration_time,
+            search_time=time.perf_counter() - start,
+        )
+
+    def single_gpu_plan(self, graph: ModelGraph, global_batch: int) -> TrainingPlan:
+        """The whole model on a single GPU (speedup reference of Figure 10)."""
+        return self.data_parallel_plan(graph, global_batch, total_gpus=1)

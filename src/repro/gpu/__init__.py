@@ -1,0 +1,35 @@
+"""GPU device simulator substrate.
+
+A discrete-event model of one GPU shared by a high-priority foreground job
+and a low-priority background job, reproducing the mechanisms of the paper's
+Section 5: CUDA streams with priorities, a non-preemptive device scheduler,
+shared driver queues, CUDA graph launches, launch pacing, and the slowdown
+feedback loop.
+
+Public API:
+
+* :class:`~repro.gpu.kernel.Kernel`, :class:`~repro.gpu.kernel.LaunchOp`,
+  :class:`~repro.gpu.kernel.TaskWorkload` — workload vocabulary.
+* :class:`~repro.gpu.device.GPUSimulator` /
+  :class:`~repro.gpu.device.DeviceConfig` — the simulator itself.
+* :class:`~repro.gpu.workload.TrainingTaskBuilder` /
+  :func:`~repro.gpu.workload.synthetic_workload` — build DNN-iteration and
+  microbenchmark workloads.
+"""
+
+from .device import DeviceConfig, GPUSimulator, SimulationResult, TaskStats
+from .kernel import Kernel, LaunchOp, TaskWorkload, split_into_graphs
+from .workload import TrainingTaskBuilder, synthetic_workload
+
+__all__ = [
+    "Kernel",
+    "LaunchOp",
+    "TaskWorkload",
+    "split_into_graphs",
+    "GPUSimulator",
+    "DeviceConfig",
+    "SimulationResult",
+    "TaskStats",
+    "TrainingTaskBuilder",
+    "synthetic_workload",
+]

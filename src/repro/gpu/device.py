@@ -1,0 +1,422 @@
+"""Discrete-event simulator of one GPU shared by multiple training tasks.
+
+Models the execution path the paper's Section 5 and Figure 8 describe:
+
+* each task has a host thread that launches operations (kernels or CUDA-graph
+  segments) with a per-launch host latency, limited to a configurable number
+  of outstanding launches (launch pacing);
+* launches from all tasks funnel through a *shared* driver transmission queue
+  that delivers work to the device strictly in FIFO order regardless of
+  stream priority, and the device accepts only a bounded number of
+  in-flight operations — together these are the head-of-line blocking
+  sources the paper calls out (an unbounded low-priority job can fill the
+  device's queues and starve high-priority launches);
+* on the device, each task has a stream: an in-order queue of kernels.  The
+  device scheduler favors higher-priority streams (when stream priorities are
+  enabled) but is **non-preemptive**: a kernel keeps the SM share it was
+  granted until it completes;
+* SMs are modelled as a divisible capacity: a kernel *requests* an occupancy
+  (how many SMs it could fill) and is *granted* whatever share is free when
+  it starts, running proportionally slower when granted less than requested.
+  This is how a collocated background job soaks up the SMs a strong-scaled
+  foreground job leaves idle — and also how a long low-priority kernel that
+  grabbed most of the device delays short high-priority kernels (Figure 12);
+* interference-sensitive operations (NCCL all-reduce) take longer when
+  another task is on the device, and the "slowdown feedback loop" mechanism
+  pauses background work around them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .kernel import Kernel, LaunchOp, TaskWorkload
+
+__all__ = ["DeviceConfig", "TaskStats", "SimulationResult", "GPUSimulator"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Mechanism toggles and device constants for one simulation.
+
+    The Figure 11 ablation is expressed entirely through these switches plus
+    the per-task pacing limits in :class:`~repro.gpu.kernel.TaskWorkload`.
+
+    Attributes
+    ----------
+    use_stream_priorities:
+        Whether the device scheduler favors higher-priority streams.
+    exclusive_sensitive_ops:
+        The slowdown feedback loop: while an interference-sensitive kernel of
+        a higher-priority task is running or at the head of its stream, do
+        not start lower-priority kernels.
+    driver_delivery_latency:
+        Time for the shared driver queue to hand one launch op to the device.
+    device_queue_slots:
+        Maximum launch ops the device holds in its queues at once (shared
+        across all streams); when full, the driver FIFO stalls and later
+        launches — regardless of priority — wait behind it.
+    shared_slowdown:
+        Mild duration inflation (cache/bandwidth contention) applied to a
+        kernel that starts while another task's kernel is running.
+    grant_threshold:
+        A kernel starts only when it can be granted at least
+        ``min(requested_occupancy, grant_threshold)`` of the device;
+        otherwise it waits for running kernels to finish (non-preemption).
+        Partial grants above the threshold run proportionally slower.
+    sm_capacity:
+        Total divisible SM capacity of the device (1.0 = the whole GPU).
+    """
+
+    use_stream_priorities: bool = True
+    exclusive_sensitive_ops: bool = False
+    driver_delivery_latency: float = 1.5e-6
+    device_queue_slots: int = 16
+    shared_slowdown: float = 1.1
+    grant_threshold: float = 0.5
+    sm_capacity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.driver_delivery_latency < 0:
+            raise ValueError("driver_delivery_latency must be non-negative")
+        if self.device_queue_slots < 1:
+            raise ValueError("device_queue_slots must be at least 1")
+        if self.shared_slowdown < 1.0:
+            raise ValueError("shared_slowdown must be >= 1.0")
+        if not (0.0 < self.grant_threshold <= 1.0):
+            raise ValueError("grant_threshold must be in (0, 1]")
+        if self.sm_capacity <= 0:
+            raise ValueError("sm_capacity must be positive")
+
+
+@dataclass
+class TaskStats:
+    """Per-task outcome of a simulation run."""
+
+    task_id: str
+    priority: int
+    iterations_completed: int = 0
+    kernels_completed: int = 0
+    busy_time: float = 0.0
+    samples_per_iteration: float = 0.0
+    sim_time: float = 0.0
+    first_iteration_end: float = 0.0
+    last_iteration_end: float = 0.0
+    #: Accumulated observed execution time per kernel name (for the slowdown
+    #: feedback loop: comparing observed durations against isolated ones).
+    kernel_time_by_name: Dict[str, float] = field(default_factory=dict)
+    kernel_count_by_name: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        """Achieved training throughput in samples per second.
+
+        Measured over whole iterations (from simulation start to the last
+        iteration boundary) so that a partially finished iteration does not
+        bias short simulations.
+        """
+        if self.iterations_completed == 0:
+            return 0.0
+        horizon = self.last_iteration_end if self.last_iteration_end > 0 else self.sim_time
+        if horizon <= 0:
+            return 0.0
+        return self.iterations_completed * self.samples_per_iteration / horizon
+
+    @property
+    def iterations_per_s(self) -> float:
+        if self.iterations_completed == 0 or self.last_iteration_end <= 0:
+            return 0.0
+        return self.iterations_completed / self.last_iteration_end
+
+    def mean_kernel_time(self, name: str) -> float:
+        """Average observed duration of a kernel, or 0.0 if never executed."""
+        count = self.kernel_count_by_name.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.kernel_time_by_name[name] / count
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :class:`GPUSimulator` run."""
+
+    sim_time: float
+    tasks: Dict[str, TaskStats]
+    device_utilization: float
+
+    def task(self, task_id: str) -> TaskStats:
+        return self.tasks[task_id]
+
+    def throughput(self, task_id: str) -> float:
+        return self.tasks[task_id].throughput_samples_per_s
+
+
+@dataclass
+class _QueuedKernel:
+    kernel: Kernel
+    task_id: str
+    delivered_at: float
+    op_id: int
+    last_of_op: bool
+    last_of_iteration: bool
+
+
+@dataclass
+class _TaskState:
+    workload: TaskWorkload
+    next_op_index: int = 0
+    outstanding_ops: int = 0
+    host_free_at: float = 0.0
+    host_event_pending: bool = False
+    stream_queue: Deque[_QueuedKernel] = field(default_factory=deque)
+    sensitive_running: int = 0
+    running_kernels: int = 0
+    stats: Optional[TaskStats] = None
+
+
+class GPUSimulator:
+    """Event-driven simulation of one GPU multiplexing several tasks."""
+
+    def __init__(self, tasks: Sequence[TaskWorkload], config: DeviceConfig = DeviceConfig()):
+        if not tasks:
+            raise ValueError("need at least one task to simulate")
+        ids = [t.task_id for t in tasks]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate task ids: {ids}")
+        self.config = config
+        self._tasks: Dict[str, _TaskState] = {
+            t.task_id: _TaskState(workload=t) for t in tasks
+        }
+        for state in self._tasks.values():
+            state.stats = TaskStats(
+                task_id=state.workload.task_id,
+                priority=state.workload.priority,
+                samples_per_iteration=state.workload.samples_per_iteration,
+            )
+
+    # ------------------------------------------------------------------- run
+    def run(self, sim_time: float) -> SimulationResult:
+        """Simulate the device for ``sim_time`` seconds and report statistics."""
+        if sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        cfg = self.config
+        now = 0.0
+        counter = itertools.count()
+        events: List[Tuple[float, int, str, object]] = []
+
+        def push(t: float, kind: str, payload: object = None) -> None:
+            heapq.heappush(events, (t, next(counter), kind, payload))
+
+        # Shared driver transmission queue (FIFO across all tasks).
+        driver_queue: Deque[Tuple[LaunchOp, str]] = deque()
+        driver_delivering = False
+        # Launch ops delivered to device queues and not yet fully executed.
+        device_inflight_ops = 0
+
+        used_capacity = 0.0
+        capacity_integral = 0.0
+        last_time = 0.0
+
+        for task_id in self._tasks:
+            push(0.0, "host", task_id)
+            self._tasks[task_id].host_event_pending = True
+
+        def other_task_running(task_id: str) -> bool:
+            return any(
+                s.running_kernels > 0
+                for tid, s in self._tasks.items()
+                if tid != task_id
+            )
+
+        def sensitive_higher_priority_active(priority: int) -> bool:
+            """A sensitive kernel of a higher-priority task running or queued at head."""
+            for state in self._tasks.values():
+                if state.workload.priority <= priority:
+                    continue
+                if state.sensitive_running > 0:
+                    return True
+                head = state.stream_queue[0] if state.stream_queue else None
+                if head is not None and head.kernel.interference_sensitive:
+                    return True
+            return False
+
+        def maybe_start_delivery() -> None:
+            nonlocal driver_delivering
+            if driver_delivering or not driver_queue:
+                return
+            if device_inflight_ops >= cfg.device_queue_slots:
+                return  # device queues full: the shared FIFO stalls
+            driver_delivering = True
+            push(now + cfg.driver_delivery_latency, "delivered", None)
+
+        def try_schedule() -> None:
+            nonlocal used_capacity
+            progress = True
+            while progress:
+                progress = False
+                candidates = [s for s in self._tasks.values() if s.stream_queue]
+                if not candidates:
+                    return
+                if cfg.use_stream_priorities:
+                    candidates.sort(
+                        key=lambda s: (-s.workload.priority, s.stream_queue[0].delivered_at)
+                    )
+                else:
+                    candidates.sort(key=lambda s: s.stream_queue[0].delivered_at)
+                for state in candidates:
+                    task_id = state.workload.task_id
+                    priority = state.workload.priority
+                    if state.running_kernels > 0:
+                        # A CUDA stream executes its kernels in order, one at
+                        # a time; concurrency only comes from *other* streams.
+                        continue
+                    if cfg.exclusive_sensitive_ops and sensitive_higher_priority_active(priority):
+                        # Slowdown feedback loop: hold back lower-priority work
+                        # while a sensitive higher-priority operator is in flight.
+                        continue
+                    head = state.stream_queue[0]
+                    requested = min(head.kernel.occupancy, cfg.sm_capacity)
+                    available = cfg.sm_capacity - used_capacity
+                    grant = min(requested, available)
+                    if grant + _EPS < min(requested, cfg.grant_threshold * cfg.sm_capacity):
+                        if cfg.use_stream_priorities:
+                            # Non-preemptive but priority-aware: lower-priority
+                            # work must not jump ahead of a starved
+                            # higher-priority kernel.
+                            return
+                        continue
+                    # Start the kernel with the granted SM share.
+                    state.stream_queue.popleft()
+                    duration = head.kernel.duration * (requested / grant)
+                    if other_task_running(task_id):
+                        duration *= cfg.shared_slowdown
+                        if head.kernel.interference_sensitive:
+                            duration *= (
+                                head.kernel.sensitive_slowdown / cfg.shared_slowdown
+                            )
+                    used_capacity += grant
+                    state.running_kernels += 1
+                    if head.kernel.interference_sensitive:
+                        state.sensitive_running += 1
+                    push(now + duration, "kernel_end", (head, grant, duration))
+                    progress = True
+                    break  # re-evaluate candidate order after every start
+
+        while events:
+            time_, _, kind, payload = heapq.heappop(events)
+            if time_ > sim_time:
+                break
+            capacity_integral += used_capacity * (time_ - last_time)
+            last_time = time_
+            now = time_
+
+            if kind == "host":
+                task_id = payload  # type: ignore[assignment]
+                state = self._tasks[task_id]
+                state.host_event_pending = False
+                wl = state.workload
+                # An "unbounded" task is still backpressured by the finite
+                # driver/device queues: launch calls block once they fill up.
+                limit = (
+                    wl.max_outstanding_ops
+                    if wl.max_outstanding_ops is not None
+                    else cfg.device_queue_slots
+                )
+                if state.outstanding_ops >= limit:
+                    continue  # retried when an op completes
+                if now + _EPS < state.host_free_at:
+                    push(state.host_free_at, "host", task_id)
+                    state.host_event_pending = True
+                    continue
+                op = wl.iteration_ops[state.next_op_index]
+                state.next_op_index = (state.next_op_index + 1) % len(wl.iteration_ops)
+                state.outstanding_ops += 1
+                state.host_free_at = now + wl.host_launch_latency
+                push(state.host_free_at, "driver_enqueue", (op, task_id))
+                push(state.host_free_at, "host", task_id)
+                state.host_event_pending = True
+
+            elif kind == "driver_enqueue":
+                op, task_id = payload  # type: ignore[misc]
+                driver_queue.append((op, task_id))
+                maybe_start_delivery()
+
+            elif kind == "delivered":
+                driver_delivering = False
+                if not driver_queue:
+                    continue
+                if device_inflight_ops >= cfg.device_queue_slots:
+                    continue  # retried when an op completes
+                op, task_id = driver_queue.popleft()
+                device_inflight_ops += 1
+                state = self._tasks[task_id]
+                wl = state.workload
+                is_last_op_of_iter = op is wl.iteration_ops[-1]
+                kernels = list(op.kernels)
+                for i, k in enumerate(kernels):
+                    state.stream_queue.append(
+                        _QueuedKernel(
+                            kernel=k,
+                            task_id=task_id,
+                            delivered_at=now,
+                            op_id=op.op_id,
+                            last_of_op=(i == len(kernels) - 1),
+                            last_of_iteration=(
+                                is_last_op_of_iter and i == len(kernels) - 1
+                            ),
+                        )
+                    )
+                maybe_start_delivery()
+                try_schedule()
+
+            elif kind == "kernel_end":
+                queued, grant, duration = payload  # type: ignore[misc]
+                task_id = queued.task_id
+                state = self._tasks[task_id]
+                used_capacity = max(0.0, used_capacity - grant)
+                state.running_kernels = max(0, state.running_kernels - 1)
+                if queued.kernel.interference_sensitive:
+                    state.sensitive_running = max(0, state.sensitive_running - 1)
+                stats = state.stats
+                assert stats is not None
+                stats.kernels_completed += 1
+                stats.busy_time += duration
+                name = queued.kernel.name
+                stats.kernel_time_by_name[name] = (
+                    stats.kernel_time_by_name.get(name, 0.0) + duration
+                )
+                stats.kernel_count_by_name[name] = (
+                    stats.kernel_count_by_name.get(name, 0) + 1
+                )
+                if queued.last_of_op:
+                    device_inflight_ops = max(0, device_inflight_ops - 1)
+                    state.outstanding_ops = max(0, state.outstanding_ops - 1)
+                    if not state.host_event_pending:
+                        push(now, "host", task_id)
+                        state.host_event_pending = True
+                    maybe_start_delivery()
+                if queued.last_of_iteration:
+                    stats.iterations_completed += 1
+                    if stats.first_iteration_end == 0.0:
+                        stats.first_iteration_end = now
+                    stats.last_iteration_end = now
+                try_schedule()
+
+        # Close the utilization integral at the end of the simulated window.
+        capacity_integral += used_capacity * max(0.0, sim_time - last_time)
+
+        for state in self._tasks.values():
+            assert state.stats is not None
+            state.stats.sim_time = sim_time
+        utilization = capacity_integral / (self.config.sm_capacity * sim_time)
+        return SimulationResult(
+            sim_time=sim_time,
+            tasks={tid: s.stats for tid, s in self._tasks.items() if s.stats is not None},
+            device_utilization=min(1.0, utilization),
+        )

@@ -1,0 +1,160 @@
+"""Kernel and launch-operation descriptions for the GPU device simulator.
+
+The multiplexing study (paper Section 5) is about *mechanisms*: CUDA streams
+with priorities, a non-preemptive on-device scheduler, shared driver queues,
+CUDA graph launches, and launch pacing.  The simulator therefore works on a
+deliberately small vocabulary:
+
+* a :class:`Kernel` is a unit of device work with a duration, an execution
+  occupancy (fraction of the device's SMs it needs), and flags describing its
+  sensitivity to interference (NCCL all-reduce being the paper's example);
+* a :class:`LaunchOp` is what the host submits in one call — either a single
+  kernel (``cudaLaunchKernel``) or a group of kernels captured into a CUDA
+  graph segment;
+* a :class:`TaskWorkload` is the repeating sequence of launch ops that makes
+  up one training iteration of a job, plus the job's priority and pacing
+  parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Kernel", "LaunchOp", "TaskWorkload", "split_into_graphs"]
+
+_op_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One device kernel.
+
+    Attributes
+    ----------
+    name:
+        Debug label, e.g. ``"features.conv3.fwd"``.
+    duration:
+        Isolated execution time on an otherwise idle device, in seconds.
+    occupancy:
+        Fraction of the device's execution resources (SM slots) the kernel
+        occupies while running, in (0, 1].
+    interference_sensitive:
+        True for operations whose duration inflates sharply when another
+        task shares the device (the paper observed >2x for NCCL all-reduce).
+    sensitive_slowdown:
+        Duration multiplier applied when an interference-sensitive kernel
+        starts while another task's kernel is running.
+    """
+
+    name: str
+    duration: float
+    occupancy: float
+    interference_sensitive: bool = False
+    sensitive_slowdown: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"kernel {self.name!r}: negative duration")
+        if not (0.0 < self.occupancy <= 1.0):
+            raise ValueError(f"kernel {self.name!r}: occupancy must be in (0, 1]")
+        if self.sensitive_slowdown < 1.0:
+            raise ValueError(f"kernel {self.name!r}: slowdown must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class LaunchOp:
+    """One host-side launch: a single kernel or a CUDA-graph segment."""
+
+    kernels: tuple
+    is_graph: bool = False
+    op_id: int = field(default_factory=lambda: next(_op_counter))
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("a launch op must contain at least one kernel")
+
+    @property
+    def duration(self) -> float:
+        """Total isolated device time of the op's kernels."""
+        return sum(k.duration for k in self.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+
+def split_into_graphs(
+    kernels: Sequence[Kernel], graph_split_size: Optional[int]
+) -> List[LaunchOp]:
+    """Group a kernel sequence into CUDA-graph launch segments.
+
+    ``graph_split_size`` bounds the number of kernels per graph launch —
+    DeepPool splits large graphs so that low-priority graph launches cannot
+    head-of-line block high-priority work (paper Section 5).  ``None`` puts
+    the entire sequence into a single graph.
+    """
+    if graph_split_size is not None and graph_split_size < 1:
+        raise ValueError("graph_split_size must be positive")
+    kernels = list(kernels)
+    if not kernels:
+        return []
+    if graph_split_size is None:
+        return [LaunchOp(kernels=tuple(kernels), is_graph=True)]
+    ops = []
+    for start in range(0, len(kernels), graph_split_size):
+        chunk = tuple(kernels[start : start + graph_split_size])
+        ops.append(LaunchOp(kernels=chunk, is_graph=True))
+    return ops
+
+
+@dataclass
+class TaskWorkload:
+    """The repeating launch sequence of one job on one GPU.
+
+    Attributes
+    ----------
+    task_id:
+        Unique name, e.g. ``"fg"`` or ``"bg"``.
+    iteration_ops:
+        Launch ops making up one training iteration, in order.
+    samples_per_iteration:
+        Samples processed per iteration (per-GPU batch size), used to convert
+        completed iterations into throughput.
+    priority:
+        CUDA stream priority; higher values are favored by the device
+        scheduler when stream priorities are enabled.
+    max_outstanding_ops:
+        Launch-pacing limit: how many launch ops may be in flight (launched
+        but not finished) at once.  ``None`` models the naive unbounded
+        behaviour.
+    host_launch_latency:
+        Host time consumed per launch op.
+    """
+
+    task_id: str
+    iteration_ops: List[LaunchOp]
+    samples_per_iteration: float
+    priority: int = 0
+    max_outstanding_ops: Optional[int] = None
+    host_launch_latency: float = 4.0e-6
+
+    def __post_init__(self) -> None:
+        if not self.iteration_ops:
+            raise ValueError(f"task {self.task_id!r} has no launch ops")
+        if self.samples_per_iteration <= 0:
+            raise ValueError(f"task {self.task_id!r}: samples_per_iteration must be positive")
+        if self.max_outstanding_ops is not None and self.max_outstanding_ops < 1:
+            raise ValueError(f"task {self.task_id!r}: pacing limit must be >= 1")
+        if self.host_launch_latency < 0:
+            raise ValueError(f"task {self.task_id!r}: negative host latency")
+
+    @property
+    def iteration_device_time(self) -> float:
+        """Isolated device time of one iteration."""
+        return sum(op.duration for op in self.iteration_ops)
+
+    @property
+    def num_kernels_per_iteration(self) -> int:
+        return sum(op.num_kernels for op in self.iteration_ops)

@@ -1,0 +1,195 @@
+"""Build simulator task workloads from model graphs.
+
+Translates one training iteration of a DNN (forward pass, backward pass,
+gradient all-reduce) into the kernel/launch-op vocabulary of the GPU device
+simulator, using the analytical layer profiler for kernel durations and SM
+occupancies.  This is the bridge between the planning substrates and the
+multiplexing study (Figures 11 and 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..models.graph import ModelGraph
+from ..network.collectives import CollectiveCostModel, DEFAULT_BUCKET_BYTES
+from ..network.fabric import NetworkFabric
+from ..profiler.gpu_spec import GPUSpec
+from ..profiler.layer_profiler import AMP_DTYPE_BYTES, LayerProfiler
+from .kernel import Kernel, LaunchOp, TaskWorkload, split_into_graphs
+
+__all__ = ["TrainingTaskBuilder", "synthetic_workload"]
+
+#: SM occupancy of NCCL communication kernels (NCCL uses a handful of SMs).
+NCCL_KERNEL_OCCUPANCY = 0.15
+
+#: Minimum occupancy attributed to any compute kernel (launch/config overhead
+#: keeps even tiny kernels from being free).
+MIN_KERNEL_OCCUPANCY = 0.02
+
+#: Host-side cost per operator in eager execution (framework dispatch +
+#: cudaLaunchKernel), i.e. without CUDA graphs.  Much larger than the raw
+#: launch syscall: this is the overhead CUDA graphs eliminate and the reason
+#: models with many small kernels gain the most from graphs (paper Section 5).
+EAGER_OP_OVERHEAD = 30e-6
+
+
+class TrainingTaskBuilder:
+    """Builds :class:`TaskWorkload` objects for training jobs on one GPU."""
+
+    def __init__(
+        self,
+        profiler: Optional[LayerProfiler] = None,
+        fabric: Optional[NetworkFabric] = None,
+    ) -> None:
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.fabric = fabric
+        self.collectives = CollectiveCostModel(fabric) if fabric is not None else None
+
+    # ------------------------------------------------------------------ build
+    def kernels_for_iteration(
+        self,
+        graph: ModelGraph,
+        per_gpu_batch: int,
+        sync_gpus: int = 1,
+        sensitive_sync: bool = True,
+    ) -> List[Kernel]:
+        """Kernel sequence of one training iteration on one GPU.
+
+        Forward kernels in topological order, backward kernels in reverse
+        order, then gradient all-reduce kernels (one per gradient bucket)
+        when ``sync_gpus > 1`` and a fabric was provided.
+        """
+        if per_gpu_batch <= 0:
+            raise ValueError("per_gpu_batch must be positive")
+        fwd: List[Kernel] = []
+        bwd: List[Kernel] = []
+        for lid in graph.layer_ids():
+            spec = graph.spec(lid)
+            timing = self.profiler.layer_timing(spec, per_gpu_batch)
+            if timing.num_kernels == 0:
+                continue
+            occupancy = max(
+                MIN_KERNEL_OCCUPANCY,
+                min(1.0, self.profiler.forward_occupancy(spec, per_gpu_batch)),
+            )
+            if timing.forward_kernels > 0 and timing.forward_time > 0:
+                per_kernel = timing.forward_time / timing.forward_kernels
+                for k in range(timing.forward_kernels):
+                    fwd.append(
+                        Kernel(
+                            name=f"{spec.name}.fwd{k}",
+                            duration=per_kernel,
+                            occupancy=occupancy,
+                        )
+                    )
+            if timing.backward_kernels > 0 and timing.backward_time > 0:
+                per_kernel = timing.backward_time / timing.backward_kernels
+                for k in range(timing.backward_kernels):
+                    bwd.append(
+                        Kernel(
+                            name=f"{spec.name}.bwd{k}",
+                            duration=per_kernel,
+                            occupancy=occupancy,
+                        )
+                    )
+        kernels = fwd + list(reversed(bwd))
+        if sync_gpus > 1 and self.collectives is not None:
+            kernels.extend(
+                self._sync_kernels(graph, sync_gpus, sensitive_sync)
+            )
+        return kernels
+
+    def _sync_kernels(
+        self, graph: ModelGraph, sync_gpus: int, sensitive: bool
+    ) -> List[Kernel]:
+        assert self.collectives is not None
+        total_bytes = graph.total_params() * AMP_DTYPE_BYTES
+        if total_bytes == 0:
+            return []
+        num_buckets = max(1, math.ceil(total_bytes / DEFAULT_BUCKET_BYTES))
+        bucket_bytes = total_bytes / num_buckets
+        bucket_time = self.collectives.all_reduce_time(bucket_bytes, sync_gpus)
+        return [
+            Kernel(
+                name=f"allreduce.bucket{i}",
+                duration=bucket_time,
+                occupancy=NCCL_KERNEL_OCCUPANCY,
+                interference_sensitive=sensitive,
+            )
+            for i in range(num_buckets)
+        ]
+
+    def build_task(
+        self,
+        graph: ModelGraph,
+        per_gpu_batch: int,
+        task_id: str,
+        priority: int = 0,
+        use_cuda_graphs: bool = True,
+        graph_split_size: Optional[int] = 24,
+        max_outstanding_ops: Optional[int] = 4,
+        sync_gpus: int = 1,
+        gpu: Optional[GPUSpec] = None,
+    ) -> TaskWorkload:
+        """Build one job's repeating launch sequence for the simulator.
+
+        With CUDA graphs enabled, kernels are grouped into graph segments of
+        ``graph_split_size`` kernels and each segment costs one (cheap) graph
+        launch; without graphs every kernel is its own launch and pays the
+        full ``cudaLaunchKernel`` latency.
+        """
+        kernels = self.kernels_for_iteration(graph, per_gpu_batch, sync_gpus)
+        device = gpu if gpu is not None else self.profiler.gpu
+        if use_cuda_graphs:
+            ops = split_into_graphs(kernels, graph_split_size)
+            split = graph_split_size if graph_split_size is not None else len(kernels)
+            host_latency = max(
+                device.kernel_launch_overhead, device.graph_launch_overhead * split
+            )
+        else:
+            ops = [LaunchOp(kernels=(k,), is_graph=False) for k in kernels]
+            host_latency = EAGER_OP_OVERHEAD
+        return TaskWorkload(
+            task_id=task_id,
+            iteration_ops=ops,
+            samples_per_iteration=per_gpu_batch,
+            priority=priority,
+            max_outstanding_ops=max_outstanding_ops,
+            host_launch_latency=host_latency,
+        )
+
+
+def synthetic_workload(
+    task_id: str,
+    kernel_duration: float,
+    occupancy: float,
+    priority: int = 0,
+    kernels_per_iteration: int = 16,
+    max_outstanding_ops: Optional[int] = 1,
+    host_launch_latency: float = 4.0e-6,
+) -> TaskWorkload:
+    """A stream of identical kernels — the Figure 12 microbenchmark workload.
+
+    ``kernel_duration`` controls execution latency and ``occupancy`` stands in
+    for compute intensity (how much of the device each kernel needs).
+    """
+    kernels = tuple(
+        Kernel(
+            name=f"{task_id}.k{i}",
+            duration=kernel_duration,
+            occupancy=occupancy,
+        )
+        for i in range(kernels_per_iteration)
+    )
+    ops = [LaunchOp(kernels=(k,), is_graph=False) for k in kernels]
+    return TaskWorkload(
+        task_id=task_id,
+        iteration_ops=ops,
+        samples_per_iteration=kernels_per_iteration,
+        priority=priority,
+        max_outstanding_ops=max_outstanding_ops,
+        host_launch_latency=host_launch_latency,
+    )

@@ -1,0 +1,53 @@
+"""DNN model zoo: static computation graphs for the paper's workloads.
+
+Public API:
+
+* :class:`~repro.models.graph.LayerSpec` and
+  :class:`~repro.models.graph.ModelGraph` — the static graph representation
+  consumed by the profiler and planner.
+* :class:`~repro.models.layers.GraphBuilder` — shape-tracking builder used to
+  define new models.
+* ``vgg11`` / ``vgg16`` / ``resnet50`` / ``wide_resnet101_2`` /
+  ``inception_v3`` — the paper's workloads.
+* ``build_model`` / ``MODEL_REGISTRY`` — name-based lookup used by examples
+  and benchmark harnesses.
+"""
+
+from .graph import GraphValidationError, LayerSpec, ModelGraph
+from .layers import GraphBuilder, Shape, conv_output_hw, pool_output_hw
+from .vgg import build_vgg, vgg11, vgg16, VGG_CONFIGS
+from .resnet import build_resnet, resnet50, resnet101, wide_resnet101_2
+from .inception import inception_v3
+from .registry import (
+    MODEL_REGISTRY,
+    TABLE1_MODELS,
+    ModelEntry,
+    available_models,
+    build_model,
+    model_entry,
+)
+
+__all__ = [
+    "LayerSpec",
+    "ModelGraph",
+    "GraphValidationError",
+    "GraphBuilder",
+    "Shape",
+    "conv_output_hw",
+    "pool_output_hw",
+    "build_vgg",
+    "vgg11",
+    "vgg16",
+    "VGG_CONFIGS",
+    "build_resnet",
+    "resnet50",
+    "resnet101",
+    "wide_resnet101_2",
+    "inception_v3",
+    "MODEL_REGISTRY",
+    "TABLE1_MODELS",
+    "ModelEntry",
+    "available_models",
+    "build_model",
+    "model_entry",
+]

@@ -1,0 +1,169 @@
+"""Inception-V3 (Szegedy et al., 2015).
+
+A primary evaluation workload (Table 1: ~24 M parameters, 119 layers,
+3x299x299 input, many light convolutions).  Inception-V3's parallel branches
+are the reason DeepPool's planner needs the multi-chain graph-reduction step
+(paper, Figure 7), and its many short kernels are why it benefits most from
+CUDA graphs and is hardest to collocate against (paper, section 7.1).
+
+The structure mirrors torchvision's ``inception_v3`` without the auxiliary
+classifier: stem convolutions, three InceptionA modules, one InceptionB,
+four InceptionC, one InceptionD, two InceptionE, then global pooling and a
+fully connected classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import ModelGraph
+from .layers import GraphBuilder
+
+__all__ = ["inception_v3"]
+
+
+def _inception_a(b: GraphBuilder, name: str, pool_features: int) -> int:
+    """InceptionA: 1x1 / 5x5 / double-3x3 / pooled-1x1 branches, concatenated."""
+    block_input = b.cursor
+
+    br1 = b.add_conv_bn_relu(f"{name}.branch1x1", 64, kernel=1, input_id=block_input)
+
+    b.add_conv_bn_relu(f"{name}.branch5x5_1", 48, kernel=1, input_id=block_input)
+    br2 = b.add_conv_bn_relu(f"{name}.branch5x5_2", 64, kernel=5, padding=2)
+
+    b.add_conv_bn_relu(f"{name}.branch3x3dbl_1", 64, kernel=1, input_id=block_input)
+    b.add_conv_bn_relu(f"{name}.branch3x3dbl_2", 96, kernel=3, padding=1)
+    br3 = b.add_conv_bn_relu(f"{name}.branch3x3dbl_3", 96, kernel=3, padding=1)
+
+    b.add_avgpool(f"{name}.branch_pool.avg", kernel=3, stride=1, padding=1,
+                  input_id=block_input)
+    br4 = b.add_conv_bn_relu(f"{name}.branch_pool.conv", pool_features, kernel=1)
+
+    return b.add_concat(f"{name}.concat", [br1, br2, br3, br4])
+
+
+def _inception_b(b: GraphBuilder, name: str) -> int:
+    """InceptionB (grid reduction): strided 3x3 / double-3x3 / max-pool branches."""
+    block_input = b.cursor
+
+    br1 = b.add_conv_bn_relu(f"{name}.branch3x3", 384, kernel=3, stride=2,
+                             input_id=block_input)
+
+    b.add_conv_bn_relu(f"{name}.branch3x3dbl_1", 64, kernel=1, input_id=block_input)
+    b.add_conv_bn_relu(f"{name}.branch3x3dbl_2", 96, kernel=3, padding=1)
+    br2 = b.add_conv_bn_relu(f"{name}.branch3x3dbl_3", 96, kernel=3, stride=2)
+
+    br3 = b.add_maxpool(f"{name}.branch_pool", kernel=3, stride=2, input_id=block_input)
+
+    return b.add_concat(f"{name}.concat", [br1, br2, br3])
+
+
+def _inception_c(b: GraphBuilder, name: str, channels_7x7: int) -> int:
+    """InceptionC: factorized 7x7 convolutions (1x7 and 7x1 pairs)."""
+    block_input = b.cursor
+    c7 = channels_7x7
+
+    br1 = b.add_conv_bn_relu(f"{name}.branch1x1", 192, kernel=1, input_id=block_input)
+
+    b.add_conv_bn_relu(f"{name}.branch7x7_1", c7, kernel=1, input_id=block_input)
+    b.add_conv_bn_relu(f"{name}.branch7x7_2", c7, kernel=(1, 7), padding=(0, 3))
+    br2 = b.add_conv_bn_relu(f"{name}.branch7x7_3", 192, kernel=(7, 1), padding=(3, 0))
+
+    b.add_conv_bn_relu(f"{name}.branch7x7dbl_1", c7, kernel=1, input_id=block_input)
+    b.add_conv_bn_relu(f"{name}.branch7x7dbl_2", c7, kernel=(7, 1), padding=(3, 0))
+    b.add_conv_bn_relu(f"{name}.branch7x7dbl_3", c7, kernel=(1, 7), padding=(0, 3))
+    b.add_conv_bn_relu(f"{name}.branch7x7dbl_4", c7, kernel=(7, 1), padding=(3, 0))
+    br3 = b.add_conv_bn_relu(f"{name}.branch7x7dbl_5", 192, kernel=(1, 7), padding=(0, 3))
+
+    b.add_avgpool(f"{name}.branch_pool.avg", kernel=3, stride=1, padding=1,
+                  input_id=block_input)
+    br4 = b.add_conv_bn_relu(f"{name}.branch_pool.conv", 192, kernel=1)
+
+    return b.add_concat(f"{name}.concat", [br1, br2, br3, br4])
+
+
+def _inception_d(b: GraphBuilder, name: str) -> int:
+    """InceptionD (grid reduction before the 8x8 stage)."""
+    block_input = b.cursor
+
+    b.add_conv_bn_relu(f"{name}.branch3x3_1", 192, kernel=1, input_id=block_input)
+    br1 = b.add_conv_bn_relu(f"{name}.branch3x3_2", 320, kernel=3, stride=2)
+
+    b.add_conv_bn_relu(f"{name}.branch7x7x3_1", 192, kernel=1, input_id=block_input)
+    b.add_conv_bn_relu(f"{name}.branch7x7x3_2", 192, kernel=(1, 7), padding=(0, 3))
+    b.add_conv_bn_relu(f"{name}.branch7x7x3_3", 192, kernel=(7, 1), padding=(3, 0))
+    br2 = b.add_conv_bn_relu(f"{name}.branch7x7x3_4", 192, kernel=3, stride=2)
+
+    br3 = b.add_maxpool(f"{name}.branch_pool", kernel=3, stride=2, input_id=block_input)
+
+    return b.add_concat(f"{name}.concat", [br1, br2, br3])
+
+
+def _inception_e(b: GraphBuilder, name: str) -> int:
+    """InceptionE: branches that themselves fan out into 1x3 / 3x1 pairs."""
+    block_input = b.cursor
+
+    br1 = b.add_conv_bn_relu(f"{name}.branch1x1", 320, kernel=1, input_id=block_input)
+
+    split_3x3 = b.add_conv_bn_relu(f"{name}.branch3x3_1", 384, kernel=1,
+                                   input_id=block_input)
+    br2a = b.add_conv_bn_relu(f"{name}.branch3x3_2a", 384, kernel=(1, 3),
+                              padding=(0, 1), input_id=split_3x3)
+    br2b = b.add_conv_bn_relu(f"{name}.branch3x3_2b", 384, kernel=(3, 1),
+                              padding=(1, 0), input_id=split_3x3)
+    br2 = b.add_concat(f"{name}.branch3x3_concat", [br2a, br2b])
+
+    b.add_conv_bn_relu(f"{name}.branch3x3dbl_1", 448, kernel=1, input_id=block_input)
+    split_dbl = b.add_conv_bn_relu(f"{name}.branch3x3dbl_2", 384, kernel=3, padding=1)
+    br3a = b.add_conv_bn_relu(f"{name}.branch3x3dbl_3a", 384, kernel=(1, 3),
+                              padding=(0, 1), input_id=split_dbl)
+    br3b = b.add_conv_bn_relu(f"{name}.branch3x3dbl_3b", 384, kernel=(3, 1),
+                              padding=(1, 0), input_id=split_dbl)
+    br3 = b.add_concat(f"{name}.branch3x3dbl_concat", [br3a, br3b])
+
+    b.add_avgpool(f"{name}.branch_pool.avg", kernel=3, stride=1, padding=1,
+                  input_id=block_input)
+    br4 = b.add_conv_bn_relu(f"{name}.branch_pool.conv", 192, kernel=1)
+
+    return b.add_concat(f"{name}.concat", [br1, br2, br3, br4])
+
+
+def inception_v3(
+    input_shape: Tuple[int, int, int] = (3, 299, 299),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Inception-V3 without the auxiliary classifier (Table 1 workload)."""
+    b = GraphBuilder("inception_v3", input_shape)
+
+    # Stem.
+    b.add_conv_bn_relu("Conv2d_1a_3x3", 32, kernel=3, stride=2)
+    b.add_conv_bn_relu("Conv2d_2a_3x3", 32, kernel=3)
+    b.add_conv_bn_relu("Conv2d_2b_3x3", 64, kernel=3, padding=1)
+    b.add_maxpool("maxpool1", kernel=3, stride=2)
+    b.add_conv_bn_relu("Conv2d_3b_1x1", 80, kernel=1)
+    b.add_conv_bn_relu("Conv2d_4a_3x3", 192, kernel=3)
+    b.add_maxpool("maxpool2", kernel=3, stride=2)
+
+    # 35x35 stage.
+    _inception_a(b, "Mixed_5b", pool_features=32)
+    _inception_a(b, "Mixed_5c", pool_features=64)
+    _inception_a(b, "Mixed_5d", pool_features=64)
+
+    # Reduce to 17x17.
+    _inception_b(b, "Mixed_6a")
+    _inception_c(b, "Mixed_6b", channels_7x7=128)
+    _inception_c(b, "Mixed_6c", channels_7x7=160)
+    _inception_c(b, "Mixed_6d", channels_7x7=160)
+    _inception_c(b, "Mixed_6e", channels_7x7=192)
+
+    # Reduce to 8x8.
+    _inception_d(b, "Mixed_7a")
+    _inception_e(b, "Mixed_7b")
+    _inception_e(b, "Mixed_7c")
+
+    # Classifier head.
+    b.add_global_avgpool("head.avgpool")
+    b.add_dropout("head.dropout")
+    b.add_flatten("head.flatten")
+    b.add_dense("head.fc", num_classes)
+    return b.finish()

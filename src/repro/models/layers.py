@@ -1,0 +1,406 @@
+"""Layer constructors and a shape-tracking graph builder.
+
+The model zoo (VGG, ResNet/WideResNet, Inception-V3) is defined with the
+:class:`GraphBuilder` below, which tracks the activation shape flowing through
+the network and computes per-layer FLOPs, parameter counts, and activation
+sizes.  The formulas are the standard analytical ones:
+
+* ``conv2d``:  ``2 * Cout * Hout * Wout * Cin * Kh * Kw`` FLOPs per sample
+  (multiply-accumulate counted as two operations), ``Cin*Cout*Kh*Kw + Cout``
+  parameters.
+* ``dense``:   ``2 * in_features * out_features`` FLOPs,
+  ``in*out + out`` parameters.
+* element-wise ops (ReLU, add, dropout): one FLOP per output element.
+* pooling: ``k*k`` FLOPs per output element.
+* batch-norm: four FLOPs per element (normalize, scale, shift), ``2*C``
+  parameters.
+
+Backward FLOPs are modelled as a per-op multiplier on forward FLOPs
+(2x for weighted layers, 1x for the rest), matching the convention DeepPool's
+profiler uses when it sums forward and backward compute time per layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import LayerSpec, ModelGraph
+
+__all__ = [
+    "Shape",
+    "GraphBuilder",
+    "conv_output_hw",
+    "pool_output_hw",
+]
+
+IntOrPair = int | Tuple[int, int]
+
+
+def _pair(v: IntOrPair) -> Tuple[int, int]:
+    """Normalize an int-or-(h, w) argument to an (h, w) pair."""
+    if isinstance(v, tuple):
+        return v
+    return (v, v)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Activation shape for one sample: channels x height x width, or flat."""
+
+    channels: int
+    height: int = 1
+    width: int = 1
+    flat: bool = False
+
+    @property
+    def elems(self) -> int:
+        return self.channels * self.height * self.width
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        if self.flat:
+            return (self.elems,)
+        return (self.channels, self.height, self.width)
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: IntOrPair, stride: IntOrPair = 1, padding: IntOrPair = 0
+) -> Tuple[int, int]:
+    """Output spatial size of a convolution (floor convention)."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution reduces {h}x{w} below 1x1 "
+            f"(kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out_h, out_w
+
+
+def pool_output_hw(
+    h: int, w: int, kernel: int, stride: Optional[int] = None, padding: int = 0,
+    ceil_mode: bool = False,
+) -> Tuple[int, int]:
+    """Output spatial size of a pooling layer."""
+    stride = stride if stride is not None else kernel
+    rounder = math.ceil if ceil_mode else math.floor
+    out_h = int(rounder((h + 2 * padding - kernel) / stride)) + 1
+    out_w = int(rounder((w + 2 * padding - kernel) / stride)) + 1
+    return max(out_h, 1), max(out_w, 1)
+
+
+class GraphBuilder:
+    """Builds a :class:`ModelGraph` while tracking activation shapes.
+
+    Every ``add_*`` method appends a layer consuming the current cursor
+    (or an explicit list of producer layer ids), updates the cursor to the new
+    layer, and returns the new layer id.  Branching models read the cursor
+    via :attr:`cursor`, build each branch from that id, and merge branches
+    with :meth:`add_concat` / :meth:`add_add`.
+    """
+
+    def __init__(self, name: str, input_shape: Tuple[int, int, int]) -> None:
+        c, h, w = input_shape
+        self.graph = ModelGraph(name)
+        self._shapes: dict[int, Shape] = {}
+        shape = Shape(c, h, w)
+        spec = LayerSpec(
+            name="input",
+            op="input",
+            flops_per_sample=0.0,
+            params=0,
+            input_elems_per_sample=0,
+            output_elems_per_sample=shape.elems,
+            bwd_flops_multiplier=0.0,
+            output_shape=shape.as_tuple(),
+        )
+        self._cursor = self.graph.add_layer(spec)
+        self._shapes[self._cursor] = shape
+
+    # ----------------------------------------------------------------- state
+    @property
+    def cursor(self) -> int:
+        """The layer id whose output the next added layer will consume."""
+        return self._cursor
+
+    def shape_of(self, layer_id: int) -> Shape:
+        """Activation shape produced by ``layer_id``."""
+        return self._shapes[layer_id]
+
+    @property
+    def current_shape(self) -> Shape:
+        return self._shapes[self._cursor]
+
+    def set_cursor(self, layer_id: int) -> None:
+        """Move the build cursor to an existing layer (for branching)."""
+        if layer_id not in self.graph:
+            raise KeyError(f"unknown layer id {layer_id}")
+        self._cursor = layer_id
+
+    def finish(self) -> ModelGraph:
+        """Validate and return the built graph."""
+        self.graph.validate()
+        return self.graph
+
+    # -------------------------------------------------------------- internals
+    def _append(
+        self,
+        spec: LayerSpec,
+        out_shape: Shape,
+        inputs: Optional[Sequence[int]] = None,
+    ) -> int:
+        srcs = list(inputs) if inputs is not None else [self._cursor]
+        lid = self.graph.add_layer(spec, inputs=srcs)
+        self._shapes[lid] = out_shape
+        self._cursor = lid
+        return lid
+
+    # ----------------------------------------------------------------- layers
+    def add_conv2d(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        bias: bool = True,
+        input_id: Optional[int] = None,
+    ) -> int:
+        """Append a 2-D convolution (square or rectangular kernel)."""
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        kh, kw = _pair(kernel)
+        out_h, out_w = conv_output_hw(in_shape.height, in_shape.width, kernel, stride, padding)
+        out_shape = Shape(out_channels, out_h, out_w)
+        macs = out_channels * out_h * out_w * in_shape.channels * kh * kw
+        params = in_shape.channels * out_channels * kh * kw
+        if bias:
+            params += out_channels
+        spec = LayerSpec(
+            name=name,
+            op="conv2d",
+            flops_per_sample=2.0 * macs,
+            params=params,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=out_shape.elems,
+            bwd_flops_multiplier=2.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=[src])
+
+    def add_dense(
+        self, name: str, out_features: int, bias: bool = True,
+        input_id: Optional[int] = None,
+    ) -> int:
+        """Append a fully connected layer (input is flattened implicitly)."""
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        in_features = in_shape.elems
+        out_shape = Shape(out_features, flat=True)
+        params = in_features * out_features + (out_features if bias else 0)
+        spec = LayerSpec(
+            name=name,
+            op="dense",
+            flops_per_sample=2.0 * in_features * out_features,
+            params=params,
+            input_elems_per_sample=in_features,
+            output_elems_per_sample=out_features,
+            bwd_flops_multiplier=2.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=[src])
+
+    def add_relu(self, name: str, input_id: Optional[int] = None) -> int:
+        return self._elementwise(name, "relu", input_id)
+
+    def add_dropout(self, name: str, input_id: Optional[int] = None) -> int:
+        return self._elementwise(name, "dropout", input_id)
+
+    def add_softmax(self, name: str, input_id: Optional[int] = None) -> int:
+        return self._elementwise(name, "softmax", input_id, flops_per_elem=5.0)
+
+    def _elementwise(
+        self,
+        name: str,
+        op: str,
+        input_id: Optional[int] = None,
+        flops_per_elem: float = 1.0,
+    ) -> int:
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        spec = LayerSpec(
+            name=name,
+            op=op,
+            flops_per_sample=flops_per_elem * in_shape.elems,
+            params=0,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=in_shape.elems,
+            bwd_flops_multiplier=1.0,
+            output_shape=in_shape.as_tuple(),
+        )
+        return self._append(spec, in_shape, inputs=[src])
+
+    def add_batchnorm(self, name: str, input_id: Optional[int] = None) -> int:
+        """Append a batch normalization layer (2*C parameters)."""
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        spec = LayerSpec(
+            name=name,
+            op="batchnorm",
+            flops_per_sample=4.0 * in_shape.elems,
+            params=2 * in_shape.channels,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=in_shape.elems,
+            bwd_flops_multiplier=1.0,
+            output_shape=in_shape.as_tuple(),
+        )
+        return self._append(spec, in_shape, inputs=[src])
+
+    def add_maxpool(
+        self, name: str, kernel: int, stride: Optional[int] = None,
+        padding: int = 0, ceil_mode: bool = False,
+        input_id: Optional[int] = None,
+    ) -> int:
+        return self._pool(name, "maxpool", kernel, stride, padding, ceil_mode, input_id)
+
+    def add_avgpool(
+        self, name: str, kernel: int, stride: Optional[int] = None,
+        padding: int = 0, ceil_mode: bool = False,
+        input_id: Optional[int] = None,
+    ) -> int:
+        return self._pool(name, "avgpool", kernel, stride, padding, ceil_mode, input_id)
+
+    def _pool(
+        self,
+        name: str,
+        op: str,
+        kernel: int,
+        stride: Optional[int],
+        padding: int,
+        ceil_mode: bool,
+        input_id: Optional[int],
+    ) -> int:
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        out_h, out_w = pool_output_hw(
+            in_shape.height, in_shape.width, kernel, stride, padding, ceil_mode
+        )
+        out_shape = Shape(in_shape.channels, out_h, out_w)
+        spec = LayerSpec(
+            name=name,
+            op=op,
+            flops_per_sample=float(kernel * kernel) * out_shape.elems,
+            params=0,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=out_shape.elems,
+            bwd_flops_multiplier=1.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=[src])
+
+    def add_global_avgpool(self, name: str, input_id: Optional[int] = None) -> int:
+        """Adaptive average pooling to 1x1 spatial output."""
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        out_shape = Shape(in_shape.channels, 1, 1)
+        spec = LayerSpec(
+            name=name,
+            op="avgpool",
+            flops_per_sample=float(in_shape.elems),
+            params=0,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=out_shape.elems,
+            bwd_flops_multiplier=1.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=[src])
+
+    def add_flatten(self, name: str, input_id: Optional[int] = None) -> int:
+        src = input_id if input_id is not None else self._cursor
+        in_shape = self._shapes[src]
+        out_shape = Shape(in_shape.elems, flat=True)
+        spec = LayerSpec(
+            name=name,
+            op="flatten",
+            flops_per_sample=0.0,
+            params=0,
+            input_elems_per_sample=in_shape.elems,
+            output_elems_per_sample=in_shape.elems,
+            bwd_flops_multiplier=0.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=[src])
+
+    # ------------------------------------------------------------ join layers
+    def add_add(self, name: str, inputs: Sequence[int]) -> int:
+        """Element-wise addition joining multiple branches (residual join)."""
+        if len(inputs) < 2:
+            raise ValueError("add_add requires at least two inputs")
+        shapes = [self._shapes[i] for i in inputs]
+        first = shapes[0]
+        for s in shapes[1:]:
+            if s.as_tuple() != first.as_tuple():
+                raise ValueError(
+                    f"add join {name!r}: mismatched shapes "
+                    f"{[sh.as_tuple() for sh in shapes]}"
+                )
+        spec = LayerSpec(
+            name=name,
+            op="add",
+            flops_per_sample=float(first.elems * (len(inputs) - 1)),
+            params=0,
+            input_elems_per_sample=first.elems * len(inputs),
+            output_elems_per_sample=first.elems,
+            bwd_flops_multiplier=1.0,
+            output_shape=first.as_tuple(),
+        )
+        return self._append(spec, first, inputs=list(inputs))
+
+    def add_concat(self, name: str, inputs: Sequence[int]) -> int:
+        """Channel-wise concatenation joining multiple branches."""
+        if len(inputs) < 2:
+            raise ValueError("add_concat requires at least two inputs")
+        shapes = [self._shapes[i] for i in inputs]
+        h, w = shapes[0].height, shapes[0].width
+        for s in shapes[1:]:
+            if (s.height, s.width) != (h, w):
+                raise ValueError(
+                    f"concat join {name!r}: mismatched spatial dims "
+                    f"{[sh.as_tuple() for sh in shapes]}"
+                )
+        out_c = sum(s.channels for s in shapes)
+        out_shape = Shape(out_c, h, w)
+        in_elems = sum(s.elems for s in shapes)
+        spec = LayerSpec(
+            name=name,
+            op="concat",
+            flops_per_sample=0.0,
+            params=0,
+            input_elems_per_sample=in_elems,
+            output_elems_per_sample=out_shape.elems,
+            bwd_flops_multiplier=0.0,
+            output_shape=out_shape.as_tuple(),
+        )
+        return self._append(spec, out_shape, inputs=list(inputs))
+
+    # ---------------------------------------------------------- compound ops
+    def add_conv_bn_relu(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: IntOrPair = 0,
+        input_id: Optional[int] = None,
+    ) -> int:
+        """Conv2d -> BatchNorm -> ReLU, the basic block of modern CNNs."""
+        self.add_conv2d(
+            f"{name}.conv", out_channels, kernel, stride, padding,
+            bias=False, input_id=input_id,
+        )
+        self.add_batchnorm(f"{name}.bn")
+        return self.add_relu(f"{name}.relu")

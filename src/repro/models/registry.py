@@ -1,0 +1,115 @@
+"""Model registry: look up evaluation workloads by name.
+
+The registry ties together the model zoo and the workload descriptions the
+benchmark harnesses use, and is the single place that records the paper's
+default global batch sizes per workload (Figure 9: VGG-16 b=32,
+WideResNet-101-2 b=16, Inception-V3 b=32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .graph import ModelGraph
+from .inception import inception_v3
+from .resnet import resnet50, resnet101, wide_resnet101_2
+from .vgg import vgg11, vgg16
+
+__all__ = ["ModelEntry", "MODEL_REGISTRY", "build_model", "available_models", "model_entry"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Registry entry describing an evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    builder:
+        Zero-argument callable returning the :class:`ModelGraph` with the
+        paper's input shape.
+    input_shape:
+        (C, H, W) of the input samples used in the paper.
+    default_global_batch:
+        Global batch size the paper uses when strong scaling this model on
+        8 GPUs (Figure 9); analysis-only models use the Section 2 value.
+    structure:
+        Short description matching Table 1's "Structure" column.
+    """
+
+    name: str
+    builder: Callable[[], ModelGraph]
+    input_shape: Tuple[int, int, int]
+    default_global_batch: int
+    structure: str
+
+
+MODEL_REGISTRY: Dict[str, ModelEntry] = {
+    "vgg11": ModelEntry(
+        name="vgg11",
+        builder=lambda: vgg11(input_shape=(3, 224, 224)),
+        input_shape=(3, 224, 224),
+        default_global_batch=256,
+        structure="Conv, Dense",
+    ),
+    "vgg16": ModelEntry(
+        name="vgg16",
+        builder=lambda: vgg16(input_shape=(3, 224, 224)),
+        input_shape=(3, 224, 224),
+        default_global_batch=32,
+        structure="Conv, Dense",
+    ),
+    "resnet50": ModelEntry(
+        name="resnet50",
+        builder=lambda: resnet50(input_shape=(3, 224, 224)),
+        input_shape=(3, 224, 224),
+        default_global_batch=256,
+        structure="Conv",
+    ),
+    "resnet101": ModelEntry(
+        name="resnet101",
+        builder=lambda: resnet101(input_shape=(3, 224, 224)),
+        input_shape=(3, 224, 224),
+        default_global_batch=64,
+        structure="Conv",
+    ),
+    "wide_resnet101_2": ModelEntry(
+        name="wide_resnet101_2",
+        builder=lambda: wide_resnet101_2(input_shape=(3, 400, 400)),
+        input_shape=(3, 400, 400),
+        default_global_batch=16,
+        structure="Intense Conv",
+    ),
+    "inception_v3": ModelEntry(
+        name="inception_v3",
+        builder=lambda: inception_v3(input_shape=(3, 299, 299)),
+        input_shape=(3, 299, 299),
+        default_global_batch=32,
+        structure="Light Conv",
+    ),
+}
+
+#: The three workloads in Table 1 / Figure 9, in the paper's order.
+TABLE1_MODELS: List[str] = ["vgg16", "wide_resnet101_2", "inception_v3"]
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(MODEL_REGISTRY)
+
+
+def model_entry(name: str) -> ModelEntry:
+    """Return the registry entry for ``name``; raise ``KeyError`` with help."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+
+
+def build_model(name: str) -> ModelGraph:
+    """Build a registered model by name with the paper's input shape."""
+    return model_entry(name).builder()

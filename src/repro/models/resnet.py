@@ -1,0 +1,145 @@
+"""ResNet family: ResNet-50 and WideResNet-101-2.
+
+The paper uses ResNet-50 for the GPU-utilization CDF (Figure 4) and
+WideResNet-101-2 (Zagoruyko & Komodakis, 2017 — a ResNet-101 with the
+bottleneck inner width doubled) as a primary evaluation workload
+(Table 1: ~127 M parameters, 105 weight layers, 3x400x400 input).
+
+Residual blocks are genuine branch/join subgraphs (identity or projection
+shortcut joined with the conv path by an ``add`` layer), so these models also
+exercise the planner's graph-reduction path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import ModelGraph
+from .layers import GraphBuilder
+
+__all__ = ["build_resnet", "resnet50", "resnet101", "wide_resnet101_2"]
+
+#: Expansion factor of bottleneck blocks (output channels = planes * 4).
+BOTTLENECK_EXPANSION = 4
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    name: str,
+    in_channels: int,
+    planes: int,
+    stride: int,
+    base_width: int,
+) -> int:
+    """Append one bottleneck residual block and return its output layer id.
+
+    Mirrors torchvision's ``Bottleneck``: 1x1 reduce -> 3x3 (stride) ->
+    1x1 expand, with a projection shortcut (1x1 conv + BN) whenever the
+    spatial size or channel count changes.
+    """
+    width = int(planes * (base_width / 64.0))
+    out_channels = planes * BOTTLENECK_EXPANSION
+    block_input = b.cursor
+
+    # Main path.
+    b.add_conv2d(f"{name}.conv1", width, kernel=1, bias=False, input_id=block_input)
+    b.add_batchnorm(f"{name}.bn1")
+    b.add_relu(f"{name}.relu1")
+    b.add_conv2d(f"{name}.conv2", width, kernel=3, stride=stride, padding=1, bias=False)
+    b.add_batchnorm(f"{name}.bn2")
+    b.add_relu(f"{name}.relu2")
+    b.add_conv2d(f"{name}.conv3", out_channels, kernel=1, bias=False)
+    main_out = b.add_batchnorm(f"{name}.bn3")
+
+    # Shortcut path.
+    if stride != 1 or in_channels != out_channels:
+        b.add_conv2d(
+            f"{name}.downsample.conv", out_channels, kernel=1, stride=stride,
+            bias=False, input_id=block_input,
+        )
+        shortcut_out = b.add_batchnorm(f"{name}.downsample.bn")
+    else:
+        shortcut_out = block_input
+
+    b.add_add(f"{name}.add", [main_out, shortcut_out])
+    return b.add_relu(f"{name}.relu3")
+
+
+def build_resnet(
+    layers: Sequence[int],
+    name: str,
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    base_width: int = 64,
+) -> ModelGraph:
+    """Build a bottleneck ResNet.
+
+    Parameters
+    ----------
+    layers:
+        Number of bottleneck blocks in each of the four stages,
+        e.g. ``[3, 4, 6, 3]`` for ResNet-50 or ``[3, 4, 23, 3]`` for
+        ResNet-101 variants.
+    base_width:
+        Width of the bottleneck inner convolutions relative to 64; 64 gives
+        the standard ResNet, 128 gives the "wide, x2" variants.
+    """
+    if len(layers) != 4:
+        raise ValueError(f"expected 4 stage sizes, got {len(layers)}")
+    b = GraphBuilder(name, input_shape)
+
+    # Stem.
+    b.add_conv2d("stem.conv1", 64, kernel=7, stride=2, padding=3, bias=False)
+    b.add_batchnorm("stem.bn1")
+    b.add_relu("stem.relu1")
+    b.add_maxpool("stem.maxpool", kernel=3, stride=2, padding=1)
+
+    in_channels = 64
+    stage_planes = [64, 128, 256, 512]
+    for stage_idx, (planes, num_blocks) in enumerate(zip(stage_planes, layers), start=1):
+        for block_idx in range(num_blocks):
+            stride = 2 if (stage_idx > 1 and block_idx == 0) else 1
+            _bottleneck(
+                b,
+                name=f"layer{stage_idx}.block{block_idx}",
+                in_channels=in_channels,
+                planes=planes,
+                stride=stride,
+                base_width=base_width,
+            )
+            in_channels = planes * BOTTLENECK_EXPANSION
+
+    b.add_global_avgpool("head.avgpool")
+    b.add_flatten("head.flatten")
+    b.add_dense("head.fc", num_classes)
+    return b.finish()
+
+
+def resnet50(
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """ResNet-50, used for the device-utilization study (Figure 4)."""
+    return build_resnet([3, 4, 6, 3], "resnet50", input_shape, num_classes, base_width=64)
+
+
+def resnet101(
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Standard ResNet-101 (provided for completeness / ablations)."""
+    return build_resnet([3, 4, 23, 3], "resnet101", input_shape, num_classes, base_width=64)
+
+
+def wide_resnet101_2(
+    input_shape: Tuple[int, int, int] = (3, 400, 400),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """WideResNet-101-2, a primary evaluation workload (Table 1).
+
+    The paper uses 3x400x400 inputs for this model ("intense conv"
+    structure), which we keep as the default input shape.
+    """
+    return build_resnet(
+        [3, 4, 23, 3], "wide_resnet101_2", input_shape, num_classes, base_width=128
+    )

@@ -1,0 +1,112 @@
+"""VGG model family (Simonyan & Zisserman, 2015).
+
+The paper evaluates VGG-16 (Table 1: ~132 M parameters, 21 layers counting
+convolutions, poolings and fully connected layers, 3x224x224 input) and uses
+VGG-11 for the scaling-strategy analysis in Section 2 (Figures 1-3).
+
+Both are pure chains, which makes them the natural workload for the planner's
+single-chain dynamic program (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .graph import ModelGraph
+from .layers import GraphBuilder
+
+__all__ = ["build_vgg", "vgg11", "vgg16", "VGG_CONFIGS"]
+
+# Standard VGG configurations: integers are conv output channels, "M" is a
+# 2x2 max pooling with stride 2.
+VGG_CONFIGS: Dict[str, List[Union[int, str]]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+    "vgg19": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, 256, "M",
+        512, 512, 512, 512, "M",
+        512, 512, 512, 512, "M",
+    ],
+}
+
+
+def build_vgg(
+    config: Sequence[Union[int, str]],
+    name: str,
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    include_relu: bool = True,
+) -> ModelGraph:
+    """Build a VGG-style chain model from a configuration list.
+
+    Parameters
+    ----------
+    config:
+        Sequence of conv channel counts and ``"M"`` markers for max pooling.
+    name:
+        Name for the resulting :class:`ModelGraph`.
+    input_shape:
+        (C, H, W) of the input samples.
+    num_classes:
+        Output dimension of the final classifier layer.
+    include_relu:
+        If False, ReLU layers are folded away (useful for tests that want the
+        paper's "21 layer" conv/pool/fc counting of VGG-16).
+    """
+    b = GraphBuilder(name, input_shape)
+    conv_idx = 0
+    pool_idx = 0
+    for item in config:
+        if item == "M":
+            pool_idx += 1
+            b.add_maxpool(f"features.pool{pool_idx}", kernel=2, stride=2)
+        else:
+            conv_idx += 1
+            b.add_conv2d(
+                f"features.conv{conv_idx}",
+                out_channels=int(item),
+                kernel=3,
+                stride=1,
+                padding=1,
+                bias=True,
+            )
+            if include_relu:
+                b.add_relu(f"features.relu{conv_idx}")
+    b.add_flatten("flatten")
+    b.add_dense("classifier.fc1", 4096)
+    if include_relu:
+        b.add_relu("classifier.relu1")
+        b.add_dropout("classifier.drop1")
+    b.add_dense("classifier.fc2", 4096)
+    if include_relu:
+        b.add_relu("classifier.relu2")
+        b.add_dropout("classifier.drop2")
+    b.add_dense("classifier.fc3", num_classes)
+    return b.finish()
+
+
+def vgg11(
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    include_relu: bool = True,
+) -> ModelGraph:
+    """VGG-11 (configuration "A"), used in the Section 2 scaling analysis."""
+    return build_vgg(VGG_CONFIGS["vgg11"], "vgg11", input_shape, num_classes, include_relu)
+
+
+def vgg16(
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    include_relu: bool = True,
+) -> ModelGraph:
+    """VGG-16 (configuration "D"), a primary evaluation workload (Table 1)."""
+    return build_vgg(VGG_CONFIGS["vgg16"], "vgg16", input_shape, num_classes, include_relu)

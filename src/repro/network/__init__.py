@@ -1,0 +1,24 @@
+"""Communication substrate: fabric, collective, and redistribution models.
+
+Public API:
+
+* :class:`~repro.network.fabric.NetworkFabric` and the ``NETWORK_PRESETS``
+  used in Figures 1-3 (10 Gbps through NVSwitch-class 4.8 Tbps).
+* :class:`~repro.network.collectives.CollectiveCostModel` — NCCL-style ring
+  all-reduce costs, i.e. the planner's ``sync(i, g)``.
+* :class:`~repro.network.transfer.RedistributionCostModel` — activation
+  redistribution when the GPU count changes between layers, i.e. the
+  planner's ``comm(i, g) -> (j, h)``.
+"""
+
+from .fabric import NETWORK_PRESETS, NetworkFabric, get_fabric
+from .collectives import CollectiveCostModel
+from .transfer import RedistributionCostModel
+
+__all__ = [
+    "NetworkFabric",
+    "NETWORK_PRESETS",
+    "get_fabric",
+    "CollectiveCostModel",
+    "RedistributionCostModel",
+]

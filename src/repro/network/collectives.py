@@ -1,0 +1,105 @@
+"""Collective-communication cost models (NCCL stand-in).
+
+DeepPool synchronizes gradients with NCCL all-reduce after the backward pass
+and assumes, for planning, that synchronization does not overlap with compute
+(paper Section 4.1, ``sync(i, g)``).  We model the standard ring all-reduce:
+each GPU sends and receives ``2 * (g - 1) / g`` times the payload, so
+
+    time = 2 * (g - 1) / g * bytes / bandwidth + 2 * (g - 1) * hop_delay
+
+which reduces to zero for a single GPU.  All-gather and reduce-scatter (each
+half of an all-reduce) are provided for completeness and for the activation
+redistribution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import NetworkFabric
+
+__all__ = ["CollectiveCostModel"]
+
+
+#: Default gradient bucket size (bytes).  PyTorch DDP / NCCL fuse gradients
+#: into ~25 MB buckets, so the per-collective latency is paid once per bucket
+#: rather than once per layer; per-layer sync costs amortize the latency by
+#: the layer's share of a bucket.
+DEFAULT_BUCKET_BYTES = 25 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Cost model for NCCL-style collectives over a :class:`NetworkFabric`."""
+
+    fabric: NetworkFabric
+    bucket_bytes: float = DEFAULT_BUCKET_BYTES
+
+    def all_reduce_time(self, payload_bytes: float, num_gpus: int) -> float:
+        """Ring all-reduce completion time across ``num_gpus`` GPUs."""
+        self._validate(payload_bytes, num_gpus)
+        if num_gpus == 1 or payload_bytes == 0:
+            return 0.0
+        g = num_gpus
+        bytes_on_wire = 2.0 * (g - 1) / g * payload_bytes
+        return (
+            bytes_on_wire / self.fabric.bandwidth_bytes_per_s
+            + 2.0 * (g - 1) * self.fabric.propagation_delay
+        )
+
+    def reduce_scatter_time(self, payload_bytes: float, num_gpus: int) -> float:
+        """Ring reduce-scatter (first half of an all-reduce)."""
+        self._validate(payload_bytes, num_gpus)
+        if num_gpus == 1 or payload_bytes == 0:
+            return 0.0
+        g = num_gpus
+        bytes_on_wire = (g - 1) / g * payload_bytes
+        return (
+            bytes_on_wire / self.fabric.bandwidth_bytes_per_s
+            + (g - 1) * self.fabric.propagation_delay
+        )
+
+    def all_gather_time(self, payload_bytes: float, num_gpus: int) -> float:
+        """Ring all-gather (second half of an all-reduce)."""
+        return self.reduce_scatter_time(payload_bytes, num_gpus)
+
+    def broadcast_time(self, payload_bytes: float, num_gpus: int) -> float:
+        """Tree broadcast of a payload from one GPU to the rest."""
+        self._validate(payload_bytes, num_gpus)
+        if num_gpus == 1 or payload_bytes == 0:
+            return 0.0
+        import math
+
+        hops = math.ceil(math.log2(num_gpus))
+        return hops * (
+            payload_bytes / self.fabric.bandwidth_bytes_per_s
+            + self.fabric.propagation_delay
+        )
+
+    def gradient_sync_time(
+        self, params: int, num_gpus: int, dtype_bytes: int = 2
+    ) -> float:
+        """``sync(i, g)``: all-reduce time for one layer's gradients.
+
+        The bandwidth term is exact; the latency term is amortized by the
+        layer's share of a gradient bucket, modelling NCCL/DDP gradient
+        bucketing (a model with many small layers does not pay the full ring
+        latency once per layer).
+        """
+        self._validate(params, num_gpus)
+        payload = params * dtype_bytes
+        if num_gpus == 1 or payload == 0:
+            return 0.0
+        g = num_gpus
+        bytes_on_wire = 2.0 * (g - 1) / g * payload
+        bandwidth_term = bytes_on_wire / self.fabric.bandwidth_bytes_per_s
+        latency_term = 2.0 * (g - 1) * self.fabric.propagation_delay
+        bucket_share = min(1.0, payload / self.bucket_bytes)
+        return bandwidth_term + latency_term * bucket_share
+
+    @staticmethod
+    def _validate(payload_bytes: float, num_gpus: int) -> None:
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be at least 1")

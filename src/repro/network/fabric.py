@@ -1,0 +1,85 @@
+"""Network fabric model.
+
+The paper uses a deliberately simple network model inside the planner
+("modeling communication cost", Section 4.1): full bi-section bandwidth (as
+provided by NVSwitch), characterized by a per-GPU bandwidth and a minimum
+propagation delay; transfer time is payload size divided by bandwidth plus
+the delay.  We adopt exactly that model, both for planning and for the
+simulated execution, and provide the named presets used in Figures 1-3
+(10 Gbps .. 4.8 Tbps per GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkFabric", "NETWORK_PRESETS", "get_fabric"]
+
+
+@dataclass(frozen=True)
+class NetworkFabric:
+    """Full bi-section network connecting the GPUs.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (used in Figure 3's legend).
+    bandwidth_bytes_per_s:
+        Per-GPU injection/ejection bandwidth in bytes per second
+        (uni-directional).
+    propagation_delay:
+        Minimum latency of any transfer, in seconds.
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    propagation_delay: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+
+    @classmethod
+    def from_bits_per_s(
+        cls, name: str, bits_per_s: float, propagation_delay: float = 5e-6
+    ) -> "NetworkFabric":
+        """Build a fabric from a link speed quoted in bits per second."""
+        return cls(name, bits_per_s / 8.0, propagation_delay)
+
+    def transfer_time(self, payload_bytes: float) -> float:
+        """Time to move a payload between two GPUs: size/bandwidth + delay."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        if payload_bytes == 0:
+            return 0.0
+        return payload_bytes / self.bandwidth_bytes_per_s + self.propagation_delay
+
+    @property
+    def bandwidth_bits_per_s(self) -> float:
+        return self.bandwidth_bytes_per_s * 8.0
+
+
+#: Named fabrics used across the paper's figures.
+#:
+#: * ``nvswitch`` — 600 GB/s per GPU (Table 2), i.e. 4.8 Tbps bi-directional,
+#:   the speed quoted in Figure 2.
+#: * ``1tbps`` — the per-GPU speed assumed in Figure 1.
+#: * ``connectx6`` — 200 Gbps NIC (Section 2).
+#: * ``100gbps`` / ``10gbps`` — slower datacenter networks in Figure 3.
+NETWORK_PRESETS = {
+    "nvswitch": NetworkFabric("NVSwitch 4.8 Tbps", 600e9, propagation_delay=3e-6),
+    "1tbps": NetworkFabric.from_bits_per_s("1 Tbps", 1e12, propagation_delay=5e-6),
+    "connectx6": NetworkFabric.from_bits_per_s("200 Gbps", 200e9, propagation_delay=8e-6),
+    "100gbps": NetworkFabric.from_bits_per_s("100 Gbps", 100e9, propagation_delay=10e-6),
+    "10gbps": NetworkFabric.from_bits_per_s("10 Gbps", 10e9, propagation_delay=20e-6),
+}
+
+
+def get_fabric(name: str) -> NetworkFabric:
+    """Look up a fabric preset by name."""
+    key = name.lower()
+    if key not in NETWORK_PRESETS:
+        raise KeyError(f"unknown fabric {name!r}; available: {sorted(NETWORK_PRESETS)}")
+    return NETWORK_PRESETS[key]

@@ -1,0 +1,76 @@
+"""Activation redistribution cost: the planner's ``comm(i, g) -> (j, h)``.
+
+When the burst-parallel plan changes the number of GPUs between consecutive
+layers, the samples (activations) produced by layer ``i`` on ``g`` GPUs must
+be redistributed across the ``h`` GPUs that will run layer ``j``; gradients
+make the mirror-image trip during the backward pass (paper Section 4.1).
+
+We model a balanced redistribution over the full bi-section fabric:
+
+* Each of the ``max(g, h)``-GPU side holds ``1/max`` of the samples per GPU
+  and each of the ``min``-side GPUs holds ``1/min``.
+* GPUs that appear in both the source and destination sets keep their own
+  shard; only the difference must cross the network.
+* The transfer completes when the most-loaded endpoint has finished sending
+  or receiving its share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import NetworkFabric
+
+__all__ = ["RedistributionCostModel"]
+
+
+@dataclass(frozen=True)
+class RedistributionCostModel:
+    """Cost of moving a layer boundary's activations between GPU sets.
+
+    Attributes
+    ----------
+    fabric:
+        The network fabric connecting the GPUs.
+    include_backward:
+        Whether to count the gradient trip of the backward pass as well
+        (the planner does; per-direction costs are available via
+        :meth:`one_way_time`).
+    """
+
+    fabric: NetworkFabric
+    include_backward: bool = True
+
+    def one_way_time(
+        self, activation_bytes_total: float, src_gpus: int, dst_gpus: int
+    ) -> float:
+        """Time to redistribute a full batch's activations one way."""
+        if activation_bytes_total < 0:
+            raise ValueError("activation bytes must be non-negative")
+        if src_gpus < 1 or dst_gpus < 1:
+            raise ValueError("GPU counts must be at least 1")
+        if activation_bytes_total == 0 or src_gpus == dst_gpus:
+            # Same GPU set and same even partition: nothing moves.
+            return 0.0
+        lo, hi = sorted((src_gpus, dst_gpus))
+        # The `lo` overlapping GPUs keep the shard they already own
+        # (1/hi of the batch each); everything else crosses the fabric.
+        moved_fraction = 1.0 - lo / hi
+        moved_bytes = activation_bytes_total * moved_fraction
+        # Sending side: the (hi - lo) GPUs not in the destination each push
+        # 1/hi of the batch.  Receiving side: each of the `lo` destination
+        # GPUs absorbs an equal share of what moved.
+        send_per_gpu = activation_bytes_total / hi
+        recv_per_gpu = moved_bytes / lo
+        bottleneck_bytes = max(send_per_gpu, recv_per_gpu)
+        return (
+            bottleneck_bytes / self.fabric.bandwidth_bytes_per_s
+            + self.fabric.propagation_delay
+        )
+
+    def transition_time(
+        self, activation_bytes_total: float, src_gpus: int, dst_gpus: int
+    ) -> float:
+        """``comm(i, g) -> (j, h)``: forward (and optionally backward) cost."""
+        one_way = self.one_way_time(activation_bytes_total, src_gpus, dst_gpus)
+        return 2.0 * one_way if self.include_backward else one_way

@@ -1,0 +1,43 @@
+"""GPU cost-model substrate.
+
+Replaces DeepPool's on-device layer profiling with an analytical
+roofline-plus-occupancy model of an A100-class GPU.
+
+Public API:
+
+* :class:`~repro.profiler.gpu_spec.GPUSpec` and the ``A100_40GB`` /
+  ``A100_80GB`` / ``V100_32GB`` presets.
+* :class:`~repro.profiler.kernel_model.KernelCostModel` — per-kernel time.
+* :class:`~repro.profiler.layer_profiler.LayerProfiler` — per-layer
+  forward+backward timing, ``comp(i, g)``, model profiles, memory footprint.
+* :func:`~repro.profiler.utilization.utilization_cdf` — Figure 4 analysis.
+"""
+
+from .gpu_spec import A100_40GB, A100_80GB, V100_32GB, GPUSpec, get_gpu_spec
+from .kernel_model import KernelCostModel, KernelWorkload
+from .layer_profiler import (
+    AMP_DTYPE_BYTES,
+    LayerProfiler,
+    LayerTiming,
+    ModelProfile,
+    per_gpu_batch,
+)
+from .utilization import UtilizationCDF, mean_utilization, utilization_cdf
+
+__all__ = [
+    "GPUSpec",
+    "A100_40GB",
+    "A100_80GB",
+    "V100_32GB",
+    "get_gpu_spec",
+    "KernelCostModel",
+    "KernelWorkload",
+    "LayerProfiler",
+    "LayerTiming",
+    "ModelProfile",
+    "per_gpu_batch",
+    "AMP_DTYPE_BYTES",
+    "UtilizationCDF",
+    "utilization_cdf",
+    "mean_utilization",
+]

@@ -1,0 +1,136 @@
+"""GPU hardware specifications used by the analytical cost model.
+
+The paper profiles layers on NVIDIA A100-SXM4-40GB GPUs (Table 2) with
+Automatic Mixed Precision enabled.  We replace measured profiles with an
+analytical roofline-style model parameterized by the specifications below.
+The exact values matter less than their ratios: compute-to-bandwidth ratio
+determines which layers are math- vs memory-bound, SM count and wave size
+determine how quickly small per-GPU batches run out of parallelism, and
+launch overheads determine when kernels become host-bound (the effect CUDA
+graphs mitigate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUSpec", "A100_40GB", "A100_80GB", "V100_32GB", "get_gpu_spec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A100-SXM4-40GB"``.
+    peak_flops:
+        Sustained dense math throughput in FLOP/s for the training dtype
+        (with AMP on an A100 this sits between the TF32 and FP16 tensor-core
+        peaks; we use a conservative sustained value rather than the
+        datasheet peak).
+    memory_bandwidth:
+        HBM bandwidth in bytes/s.
+    num_sms:
+        Number of streaming multiprocessors.
+    blocks_per_sm:
+        Thread blocks resident per SM in one scheduling wave (occupancy
+        assumption for typical cuDNN/cuBLAS kernels).
+    kernel_launch_overhead:
+        Host-side cost of one ``cudaLaunchKernel`` call, in seconds.
+    graph_launch_overhead:
+        Amortized per-kernel host cost when kernels are replayed from a CUDA
+        graph, in seconds.
+    kernel_fixed_overhead:
+        Device-side fixed cost per kernel (scheduling, tail effects), in
+        seconds; acts as a floor on kernel duration.
+    memory_capacity:
+        Device memory in bytes (used for collocation feasibility checks).
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    num_sms: int
+    blocks_per_sm: int
+    kernel_launch_overhead: float
+    graph_launch_overhead: float
+    kernel_fixed_overhead: float
+    memory_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("peak_flops and memory_bandwidth must be positive")
+        if self.num_sms <= 0 or self.blocks_per_sm <= 0:
+            raise ValueError("num_sms and blocks_per_sm must be positive")
+        if min(self.kernel_launch_overhead, self.graph_launch_overhead,
+               self.kernel_fixed_overhead) < 0:
+            raise ValueError("overheads must be non-negative")
+
+    @property
+    def wave_size(self) -> int:
+        """Thread blocks the device can execute concurrently in one wave."""
+        return self.num_sms * self.blocks_per_sm
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (FLOP/byte) at the roofline ridge point."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def scaled(self, **overrides: float) -> "GPUSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **overrides)
+
+
+#: Default evaluation device (paper Table 2), with AMP-era sustained FLOPs.
+A100_40GB = GPUSpec(
+    name="A100-SXM4-40GB",
+    peak_flops=120e12,
+    memory_bandwidth=1.555e12,
+    num_sms=108,
+    blocks_per_sm=4,
+    kernel_launch_overhead=4.0e-6,
+    graph_launch_overhead=0.4e-6,
+    kernel_fixed_overhead=2.5e-6,
+    memory_capacity=40e9,
+)
+
+A100_80GB = GPUSpec(
+    name="A100-SXM4-80GB",
+    peak_flops=120e12,
+    memory_bandwidth=2.0e12,
+    num_sms=108,
+    blocks_per_sm=4,
+    kernel_launch_overhead=4.0e-6,
+    graph_launch_overhead=0.4e-6,
+    kernel_fixed_overhead=2.5e-6,
+    memory_capacity=80e9,
+)
+
+V100_32GB = GPUSpec(
+    name="V100-SXM2-32GB",
+    peak_flops=60e12,
+    memory_bandwidth=0.9e12,
+    num_sms=80,
+    blocks_per_sm=4,
+    kernel_launch_overhead=5.0e-6,
+    graph_launch_overhead=0.5e-6,
+    kernel_fixed_overhead=3.0e-6,
+    memory_capacity=32e9,
+)
+
+_SPECS = {
+    "a100": A100_40GB,
+    "a100-40gb": A100_40GB,
+    "a100-80gb": A100_80GB,
+    "v100": V100_32GB,
+}
+
+
+def get_gpu_spec(name: str) -> GPUSpec:
+    """Look up a GPU spec by (case-insensitive) short name."""
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown GPU {name!r}; available: {sorted(_SPECS)}")
+    return _SPECS[key]

@@ -1,0 +1,291 @@
+"""Per-layer compute-time profiles: the planner's ``comp(i, g)`` input.
+
+DeepPool's planner "initially profiles each layer with different batch sizes"
+(paper Section 3.2) and consumes, for every layer ``i`` and GPU count ``g``,
+the sum of forward and backward compute time at the per-GPU batch size implied
+by ``g``.  This module produces those profiles from the static model graph and
+the analytical kernel model, replacing measurement on real hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..models.graph import LayerSpec, ModelGraph
+from .gpu_spec import GPUSpec, A100_40GB
+from .kernel_model import KernelCostModel, KernelWorkload
+
+__all__ = [
+    "LayerTiming",
+    "LayerProfiler",
+    "ModelProfile",
+    "per_gpu_batch",
+]
+
+#: Bytes per scalar for activations and weights under mixed precision.
+AMP_DTYPE_BYTES = 2
+
+#: Bytes per parameter held in GPU memory during training: FP16 weight +
+#: FP16 gradient + FP32 master weight + two FP32 Adam moments.
+TRAINING_BYTES_PER_PARAM = 2 + 2 + 4 + 4 + 4
+
+#: Kernel counts per layer: (forward kernels, backward kernels).  Weighted
+#: layers run separate data-gradient and weight-gradient kernels backward.
+_KERNELS_PER_OP: Dict[str, Tuple[int, int]] = {
+    "input": (0, 0),
+    "conv2d": (1, 2),
+    "dense": (1, 2),
+    "batchnorm": (1, 1),
+    "relu": (1, 1),
+    "dropout": (1, 1),
+    "softmax": (1, 1),
+    "maxpool": (1, 1),
+    "avgpool": (1, 1),
+    "add": (1, 1),
+    "concat": (1, 1),
+    "flatten": (0, 0),
+}
+
+
+def per_gpu_batch(global_batch: int, num_gpus: int) -> int:
+    """Samples processed by the busiest GPU when a batch is split evenly.
+
+    The iteration time of a data-parallel stage is set by the GPU holding
+    ``ceil(global_batch / num_gpus)`` samples.
+    """
+    if global_batch <= 0:
+        raise ValueError("global_batch must be positive")
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    return math.ceil(global_batch / num_gpus)
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Compute-time breakdown for one layer at one per-GPU batch size.
+
+    All times are seconds for a single training iteration on one GPU.
+    """
+
+    layer_name: str
+    op: str
+    batch: int
+    forward_time: float
+    backward_time: float
+    forward_kernels: int
+    backward_kernels: int
+    host_launch_time: float
+    utilization: float
+
+    @property
+    def total_time(self) -> float:
+        """Forward + backward device time, bounded below by host launch time.
+
+        When kernels are shorter than the time the host needs to launch them,
+        the layer becomes host-bound (the regime CUDA graphs address).
+        """
+        return max(self.forward_time + self.backward_time, self.host_launch_time)
+
+    @property
+    def device_time(self) -> float:
+        """Pure device execution time (forward + backward)."""
+        return self.forward_time + self.backward_time
+
+    @property
+    def num_kernels(self) -> int:
+        return self.forward_kernels + self.backward_kernels
+
+
+class LayerProfiler:
+    """Computes per-layer timings — the analytical stand-in for profiling.
+
+    Parameters
+    ----------
+    gpu:
+        Device specification to model.
+    use_cuda_graphs:
+        Whether host launch costs are amortized by CUDA graphs (the paper
+        enables graphs for all jobs; the Figure 11 ablation turns it off).
+    dtype_bytes:
+        Bytes per activation/weight scalar (2 under AMP).
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec = A100_40GB,
+        use_cuda_graphs: bool = True,
+        dtype_bytes: int = AMP_DTYPE_BYTES,
+    ) -> None:
+        self.gpu = gpu
+        self.use_cuda_graphs = use_cuda_graphs
+        self.dtype_bytes = dtype_bytes
+        self.kernel_model = KernelCostModel(gpu)
+
+    # ----------------------------------------------------------- single layer
+    def _forward_workload(self, spec: LayerSpec, batch: int) -> KernelWorkload:
+        act_bytes = (spec.input_elems_per_sample + spec.output_elems_per_sample) * batch
+        weight_bytes = spec.params
+        return KernelWorkload(
+            flops=spec.flops_per_sample * batch,
+            bytes_moved=(act_bytes + weight_bytes) * self.dtype_bytes,
+            parallel_elems=max(spec.output_elems_per_sample, 1) * batch,
+        )
+
+    def _backward_workload(self, spec: LayerSpec, batch: int) -> KernelWorkload:
+        # Backward reads the saved activations and the incoming gradient and
+        # writes gradients for inputs (and weights); roughly twice the
+        # forward traffic for weighted layers.
+        act_bytes = (2 * spec.input_elems_per_sample + spec.output_elems_per_sample) * batch
+        weight_bytes = 2 * spec.params
+        return KernelWorkload(
+            flops=spec.flops_per_sample * spec.bwd_flops_multiplier * batch,
+            bytes_moved=(act_bytes + weight_bytes) * self.dtype_bytes,
+            parallel_elems=max(spec.input_elems_per_sample, 1) * batch,
+        )
+
+    def layer_timing(self, spec: LayerSpec, batch: int) -> LayerTiming:
+        """Forward+backward timing of one layer at a per-GPU batch size."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        fwd_kernels, bwd_kernels = _KERNELS_PER_OP.get(spec.op, (1, 1))
+        if fwd_kernels == 0 and bwd_kernels == 0:
+            return LayerTiming(
+                layer_name=spec.name,
+                op=spec.op,
+                batch=batch,
+                forward_time=0.0,
+                backward_time=0.0,
+                forward_kernels=0,
+                backward_kernels=0,
+                host_launch_time=0.0,
+                utilization=1.0,
+            )
+        fwd = self._forward_workload(spec, batch)
+        bwd = self._backward_workload(spec, batch)
+        fwd_time = self.kernel_model.kernel_time(fwd, num_kernels=fwd_kernels)
+        bwd_time = (
+            self.kernel_model.kernel_time(bwd, num_kernels=bwd_kernels)
+            if spec.bwd_flops_multiplier > 0
+            else 0.0
+        )
+        launch = self.kernel_model.launch_overhead(self.use_cuda_graphs)
+        host_time = launch * (fwd_kernels + (bwd_kernels if spec.bwd_flops_multiplier > 0 else 0))
+        utilization = self.kernel_model.achieved_utilization(fwd, num_kernels=fwd_kernels)
+        return LayerTiming(
+            layer_name=spec.name,
+            op=spec.op,
+            batch=batch,
+            forward_time=fwd_time,
+            backward_time=bwd_time,
+            forward_kernels=fwd_kernels,
+            backward_kernels=bwd_kernels if spec.bwd_flops_multiplier > 0 else 0,
+            host_launch_time=host_time,
+            utilization=utilization,
+        )
+
+    def comp(self, spec: LayerSpec, global_batch: int, num_gpus: int) -> float:
+        """``comp(i, g)``: fwd+bwd time of a layer scaled to ``num_gpus`` GPUs."""
+        return self.layer_timing(spec, per_gpu_batch(global_batch, num_gpus)).total_time
+
+    def forward_occupancy(self, spec: LayerSpec, batch: int) -> float:
+        """SM occupancy of the layer's forward kernel at a per-GPU batch size.
+
+        Used by the GPU multiplexing simulator to decide how much of the
+        device a kernel leaves free for a collocated task.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        workload = self._forward_workload(spec, batch)
+        return self.kernel_model.compute_occupancy(workload)
+
+    # ------------------------------------------------------------ whole model
+    def profile_model(
+        self, graph: ModelGraph, batches: Sequence[int]
+    ) -> "ModelProfile":
+        """Profile every layer at every per-GPU batch size in ``batches``."""
+        unique_batches = sorted({int(b) for b in batches})
+        if not unique_batches:
+            raise ValueError("need at least one batch size to profile")
+        timings: Dict[Tuple[int, int], LayerTiming] = {}
+        for lid in graph.layer_ids():
+            spec = graph.spec(lid)
+            for b in unique_batches:
+                timings[(lid, b)] = self.layer_timing(spec, b)
+        return ModelProfile(
+            graph=graph,
+            gpu=self.gpu,
+            batches=unique_batches,
+            timings=timings,
+            use_cuda_graphs=self.use_cuda_graphs,
+        )
+
+    def iteration_compute_time(self, graph: ModelGraph, batch: int) -> float:
+        """Sum of all layers' compute time at one per-GPU batch size."""
+        return sum(
+            self.layer_timing(graph.spec(lid), batch).total_time
+            for lid in graph.layer_ids()
+        )
+
+    def memory_footprint(self, graph: ModelGraph, batch: int) -> float:
+        """Approximate training memory footprint in bytes.
+
+        Parameters, gradients and optimizer state, plus activations saved for
+        the backward pass at the given per-GPU batch size.  Strong scaling
+        shrinks the activation term, which is what frees room for a collocated
+        background job (paper Section 3.1).
+        """
+        param_bytes = graph.total_params() * TRAINING_BYTES_PER_PARAM
+        act_elems = sum(
+            spec.output_elems_per_sample for spec in graph.specs()
+        )
+        act_bytes = act_elems * batch * self.dtype_bytes
+        return float(param_bytes + act_bytes)
+
+
+@dataclass
+class ModelProfile:
+    """A table of layer timings at several per-GPU batch sizes.
+
+    This is the artifact DeepPool's profiler hands to the planner: for any
+    layer and GPU count, the planner looks up (or derives) the compute time.
+    """
+
+    graph: ModelGraph
+    gpu: GPUSpec
+    batches: List[int]
+    timings: Dict[Tuple[int, int], LayerTiming]
+    use_cuda_graphs: bool
+
+    def timing(self, layer_id: int, batch: int) -> LayerTiming:
+        """Timing for one layer at one profiled per-GPU batch size."""
+        key = (layer_id, batch)
+        if key not in self.timings:
+            raise KeyError(
+                f"layer {layer_id} was not profiled at batch {batch}; "
+                f"profiled batches: {self.batches}"
+            )
+        return self.timings[key]
+
+    def layer_time(self, layer_id: int, batch: int) -> float:
+        return self.timing(layer_id, batch).total_time
+
+    def iteration_time(self, batch: int) -> float:
+        """Total compute time of one iteration at a per-GPU batch size."""
+        return sum(
+            self.timings[(lid, batch)].total_time for lid in self.graph.layer_ids()
+        )
+
+    def utilization_samples(self, batch: int) -> List[Tuple[float, float]]:
+        """(time_weight, utilization) pairs across layers at one batch size.
+
+        Used to build the time-weighted device-utilization CDF of Figure 4.
+        """
+        out: List[Tuple[float, float]] = []
+        for lid in self.graph.layer_ids():
+            t = self.timings[(lid, batch)]
+            if t.num_kernels == 0:
+                continue
+            out.append((t.total_time, t.utilization))
+        return out

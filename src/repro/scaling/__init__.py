@@ -1,0 +1,41 @@
+"""Scaling-strategy analysis (paper Section 2, Figures 1-4).
+
+Public API:
+
+* :class:`~repro.scaling.sample_efficiency.SampleEfficiencyModel` and the
+  ``VGG11_ERROR_035`` preset — steps-to-accuracy vs global batch size.
+* :class:`~repro.scaling.time_to_accuracy.TimeToAccuracyModel` /
+  :class:`~repro.scaling.time_to_accuracy.IterationTimeModel` — data-parallel
+  iteration time and time-to-accuracy.
+* :class:`~repro.scaling.strategies.ScalingAnalysis` with
+  ``WeakScaling`` / ``StrongScaling`` / ``BatchOptimalScaling`` — the
+  strategy comparison of Figures 1-3.
+"""
+
+from .sample_efficiency import RESNET50_IMAGENET, SampleEfficiencyModel, VGG11_ERROR_035
+from .strategies import (
+    BatchOptimalScaling,
+    ScalingAnalysis,
+    ScalingStrategy,
+    StrategyPoint,
+    StrongScaling,
+    WeakScaling,
+    default_batch_candidates,
+)
+from .time_to_accuracy import IterationBreakdown, IterationTimeModel, TimeToAccuracyModel
+
+__all__ = [
+    "SampleEfficiencyModel",
+    "VGG11_ERROR_035",
+    "RESNET50_IMAGENET",
+    "ScalingAnalysis",
+    "ScalingStrategy",
+    "StrategyPoint",
+    "WeakScaling",
+    "StrongScaling",
+    "BatchOptimalScaling",
+    "default_batch_candidates",
+    "IterationTimeModel",
+    "IterationBreakdown",
+    "TimeToAccuracyModel",
+]

@@ -1,0 +1,182 @@
+"""Scaling strategies: weak, strong, and batch-optimal scaling.
+
+Section 2 of the paper compares three ways of using a growing GPU cluster:
+
+* **Weak scaling** keeps the per-GPU batch size constant, so the global batch
+  grows with the cluster; throughput scales but sample efficiency eventually
+  collapses.
+* **Strong scaling** keeps the global batch fixed and splits it into
+  ever-smaller per-GPU batches; sample efficiency is preserved but
+  communication and GPU under-utilization limit the speedup.
+* **Batch-optimal scaling** picks, at every cluster size, the global batch
+  size minimizing the estimated time to accuracy (the "sweet spot").  The
+  paper also calls the curve "hybrid scaling" in Figure 1.
+
+Each strategy exposes the same interface: given a GPU count, return the
+global batch size to use; the shared evaluator then computes speedups and the
+per-GPU batch sizes of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..models.graph import ModelGraph
+from ..network.fabric import NetworkFabric
+from ..profiler.layer_profiler import LayerProfiler, per_gpu_batch
+from .sample_efficiency import SampleEfficiencyModel
+from .time_to_accuracy import TimeToAccuracyModel
+
+__all__ = [
+    "ScalingStrategy",
+    "WeakScaling",
+    "StrongScaling",
+    "BatchOptimalScaling",
+    "StrategyPoint",
+    "ScalingAnalysis",
+    "default_batch_candidates",
+]
+
+
+def default_batch_candidates(
+    base_batch: int, max_gpus: int, per_gpu_cap: int = 512
+) -> List[int]:
+    """Power-of-two global batch sizes from ``base_batch`` up to the weak-scaling limit."""
+    candidates = []
+    b = base_batch
+    limit = base_batch * max_gpus * 2
+    while b <= min(limit, per_gpu_cap * max_gpus):
+        candidates.append(b)
+        b *= 2
+    return candidates
+
+
+@dataclass(frozen=True)
+class StrategyPoint:
+    """One (GPU count, batch) operating point of a scaling strategy."""
+
+    num_gpus: int
+    global_batch: int
+    per_gpu_batch: int
+    iteration_time: float
+    steps_to_accuracy: float
+    time_to_accuracy: float
+    speedup: float
+
+
+class ScalingStrategy:
+    """Base class: maps a GPU count to the global batch size to train with."""
+
+    name: str = "abstract"
+
+    def global_batch(self, num_gpus: int, evaluator: "ScalingAnalysis") -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class WeakScaling(ScalingStrategy):
+    """Constant per-GPU batch size (the conventional approach)."""
+
+    per_gpu_batch_size: int = 256
+    name: str = "weak"
+
+    def global_batch(self, num_gpus: int, evaluator: "ScalingAnalysis") -> int:
+        return self.per_gpu_batch_size * num_gpus
+
+
+@dataclass
+class StrongScaling(ScalingStrategy):
+    """Constant global batch size, split across all GPUs."""
+
+    global_batch_size: int = 256
+    name: str = "strong"
+
+    def global_batch(self, num_gpus: int, evaluator: "ScalingAnalysis") -> int:
+        return self.global_batch_size
+
+
+@dataclass
+class BatchOptimalScaling(ScalingStrategy):
+    """Chooses the global batch size minimizing time-to-accuracy at each scale."""
+
+    candidates: Sequence[int] = field(default_factory=list)
+    name: str = "batch-optimal"
+
+    def global_batch(self, num_gpus: int, evaluator: "ScalingAnalysis") -> int:
+        candidates = self.candidates or default_batch_candidates(
+            evaluator.reference_batch, max(evaluator.gpu_counts)
+        )
+        best_batch = None
+        best_tta = float("inf")
+        for batch in candidates:
+            if batch < num_gpus:
+                # Cannot split fewer samples than GPUs along the sample dim.
+                continue
+            tta = evaluator.tta_model.time_to_accuracy(batch, num_gpus)
+            if tta < best_tta:
+                best_tta = tta
+                best_batch = batch
+        if best_batch is None:
+            raise ValueError(
+                f"no feasible batch candidate for {num_gpus} GPUs among {list(candidates)}"
+            )
+        return best_batch
+
+
+class ScalingAnalysis:
+    """Evaluates scaling strategies across cluster sizes (Figures 1-3)."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        fabric: NetworkFabric,
+        efficiency: SampleEfficiencyModel,
+        gpu_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+        reference_batch: int = 256,
+        profiler: Optional[LayerProfiler] = None,
+    ) -> None:
+        self.graph = graph
+        self.fabric = fabric
+        self.efficiency = efficiency
+        self.gpu_counts = list(gpu_counts)
+        self.reference_batch = reference_batch
+        self.tta_model = TimeToAccuracyModel(graph, fabric, efficiency, profiler)
+
+    def evaluate_point(self, num_gpus: int, global_batch: int) -> StrategyPoint:
+        """Evaluate one (GPU count, global batch) configuration."""
+        effective_gpus = min(num_gpus, global_batch)
+        iteration = self.tta_model.iteration_model.iteration(global_batch, effective_gpus)
+        steps = self.efficiency.steps_to_accuracy(global_batch)
+        tta = steps * iteration.total_time
+        baseline = self.tta_model.time_to_accuracy(self.reference_batch, 1)
+        return StrategyPoint(
+            num_gpus=num_gpus,
+            global_batch=global_batch,
+            per_gpu_batch=per_gpu_batch(global_batch, effective_gpus),
+            iteration_time=iteration.total_time,
+            steps_to_accuracy=steps,
+            time_to_accuracy=tta,
+            speedup=baseline / tta,
+        )
+
+    def evaluate(self, strategy: ScalingStrategy) -> List[StrategyPoint]:
+        """Evaluate a strategy at every cluster size."""
+        points = []
+        for g in self.gpu_counts:
+            batch = strategy.global_batch(g, self)
+            points.append(self.evaluate_point(g, batch))
+        return points
+
+    def speedup_curves(
+        self, strategies: Iterable[ScalingStrategy]
+    ) -> Dict[str, List[StrategyPoint]]:
+        """Speedup-vs-GPU-count curves for several strategies (Figure 1)."""
+        return {s.name: self.evaluate(s) for s in strategies}
+
+    def batch_optimal_per_gpu_batches(
+        self, candidates: Optional[Sequence[int]] = None
+    ) -> Dict[int, int]:
+        """Per-GPU batch size chosen by batch-optimal scaling (Figure 2)."""
+        strategy = BatchOptimalScaling(candidates or [])
+        return {p.num_gpus: p.per_gpu_batch for p in self.evaluate(strategy)}

@@ -1,0 +1,126 @@
+"""Data-parallel iteration-time and time-to-accuracy estimation.
+
+Combines the three substrates — layer cost model, network model, and
+sample-efficiency model — into the quantity the Section 2 analysis plots:
+estimated time to reach the target accuracy for a given global batch size and
+GPU count, and the speedup relative to a single GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..models.graph import ModelGraph
+from ..network.collectives import CollectiveCostModel
+from ..network.fabric import NetworkFabric
+from ..profiler.layer_profiler import LayerProfiler, per_gpu_batch
+from .sample_efficiency import SampleEfficiencyModel
+
+__all__ = ["IterationTimeModel", "TimeToAccuracyModel", "IterationBreakdown"]
+
+#: Gradients are synchronized in half precision (AMP), 2 bytes per parameter.
+GRADIENT_DTYPE_BYTES = 2
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Components of one data-parallel training iteration."""
+
+    compute_time: float
+    sync_time: float
+    num_gpus: int
+    global_batch: int
+    per_gpu_batch: int
+
+    @property
+    def total_time(self) -> float:
+        """Iteration time assuming gradient sync does not overlap compute."""
+        return self.compute_time + self.sync_time
+
+
+class IterationTimeModel:
+    """Estimates data-parallel iteration time for a model on a cluster."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        fabric: NetworkFabric,
+        profiler: Optional[LayerProfiler] = None,
+    ) -> None:
+        self.graph = graph
+        self.fabric = fabric
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.collectives = CollectiveCostModel(fabric)
+        self._total_params = graph.total_params()
+        self._compute_cache: dict[int, float] = {}
+
+    def compute_time(self, batch_per_gpu: int) -> float:
+        """Per-GPU forward+backward compute time at a per-GPU batch size."""
+        if batch_per_gpu not in self._compute_cache:
+            self._compute_cache[batch_per_gpu] = self.profiler.iteration_compute_time(
+                self.graph, batch_per_gpu
+            )
+        return self._compute_cache[batch_per_gpu]
+
+    def sync_time(self, num_gpus: int) -> float:
+        """Gradient all-reduce time across the data-parallel group."""
+        return self.collectives.all_reduce_time(
+            self._total_params * GRADIENT_DTYPE_BYTES, num_gpus
+        )
+
+    def iteration(self, global_batch: int, num_gpus: int) -> IterationBreakdown:
+        """Iteration breakdown when ``global_batch`` is split over ``num_gpus``."""
+        if num_gpus > global_batch:
+            # GPUs beyond one-per-sample can contribute nothing in pure
+            # sample-dimension data parallelism.
+            num_gpus = global_batch
+        b = per_gpu_batch(global_batch, num_gpus)
+        return IterationBreakdown(
+            compute_time=self.compute_time(b),
+            sync_time=self.sync_time(num_gpus),
+            num_gpus=num_gpus,
+            global_batch=global_batch,
+            per_gpu_batch=b,
+        )
+
+    def iteration_time(self, global_batch: int, num_gpus: int) -> float:
+        return self.iteration(global_batch, num_gpus).total_time
+
+
+class TimeToAccuracyModel:
+    """Time-to-accuracy estimation for the Section 2 scaling analysis."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        fabric: NetworkFabric,
+        efficiency: SampleEfficiencyModel,
+        profiler: Optional[LayerProfiler] = None,
+    ) -> None:
+        self.iteration_model = IterationTimeModel(graph, fabric, profiler)
+        self.efficiency = efficiency
+
+    def time_to_accuracy(self, global_batch: int, num_gpus: int) -> float:
+        """Wall-clock seconds to reach the target accuracy."""
+        steps = self.efficiency.steps_to_accuracy(global_batch)
+        return steps * self.iteration_model.iteration_time(global_batch, num_gpus)
+
+    def speedup(
+        self,
+        global_batch: int,
+        num_gpus: int,
+        reference_batch: int,
+        reference_gpus: int = 1,
+    ) -> float:
+        """Speedup of (batch, GPUs) over a reference configuration.
+
+        Figures 1 and 3 use a single GPU with the base batch size as the
+        reference.
+        """
+        baseline = self.time_to_accuracy(reference_batch, reference_gpus)
+        return baseline / self.time_to_accuracy(global_batch, num_gpus)
+
+    def training_throughput(self, global_batch: int, num_gpus: int) -> float:
+        """Samples per second of the data-parallel configuration."""
+        return global_batch / self.iteration_model.iteration_time(global_batch, num_gpus)

@@ -1,0 +1,11 @@
+"""Workload definitions: synthetic kernel grids and Table 1 characteristics."""
+
+from .synthetic import SyntheticKernelSpec, default_kernel_grid
+from .table1 import WorkloadCharacteristics, table1_characteristics
+
+__all__ = [
+    "SyntheticKernelSpec",
+    "default_kernel_grid",
+    "WorkloadCharacteristics",
+    "table1_characteristics",
+]

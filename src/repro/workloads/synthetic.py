@@ -1,0 +1,68 @@
+"""Synthetic kernel grid for the pairwise-collocation microbenchmark (Figure 12).
+
+The paper examines "the pairwise collocation of several synthetic kernels
+with varied compute intensities and execution latencies".  We reproduce the
+grid as (execution latency) x (compute intensity), where compute intensity
+maps to the SM occupancy the kernel requests: a high-intensity kernel wants
+the whole device, a low-intensity kernel leaves most SMs free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["SyntheticKernelSpec", "default_kernel_grid"]
+
+
+@dataclass(frozen=True)
+class SyntheticKernelSpec:
+    """One synthetic kernel type of the Figure 12 grid."""
+
+    label: str
+    duration: float
+    occupancy: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not (0.0 < self.occupancy <= 1.0):
+            raise ValueError("occupancy must be in (0, 1]")
+
+    def as_tuple(self) -> Tuple[str, float, float]:
+        return (self.label, self.duration, self.occupancy)
+
+
+#: Execution latencies spanning the range of real DNN kernels (a tiny
+#: elementwise op up to a large convolution / NCCL collective).
+DEFAULT_DURATIONS: Sequence[Tuple[str, float]] = (
+    ("10us", 10e-6),
+    ("100us", 100e-6),
+    ("1ms", 1e-3),
+    ("10ms", 10e-3),
+)
+
+#: Compute intensities: how much of the device the kernel can fill.
+DEFAULT_INTENSITIES: Sequence[Tuple[str, float]] = (
+    ("low", 0.25),
+    ("mid", 0.5),
+    ("high", 1.0),
+)
+
+
+def default_kernel_grid(
+    durations: Sequence[Tuple[str, float]] = DEFAULT_DURATIONS,
+    intensities: Sequence[Tuple[str, float]] = DEFAULT_INTENSITIES,
+) -> List[SyntheticKernelSpec]:
+    """The full latency x intensity grid of synthetic kernel types."""
+    grid = []
+    for dur_label, duration in durations:
+        for int_label, occupancy in intensities:
+            grid.append(
+                SyntheticKernelSpec(
+                    label=f"{dur_label}/{int_label}",
+                    duration=duration,
+                    occupancy=occupancy,
+                )
+            )
+    return grid

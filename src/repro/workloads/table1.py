@@ -1,0 +1,51 @@
+"""Table 1: workload characteristics of the evaluation models.
+
+The paper summarizes each evaluation model by its parameter count, number of
+layers, input size, and dominant structure.  We regenerate the table from the
+model zoo so that any change to the model definitions is reflected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..models.registry import TABLE1_MODELS, build_model, model_entry
+
+__all__ = ["WorkloadCharacteristics", "table1_characteristics"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """One row of Table 1."""
+
+    model: str
+    params_millions: float
+    weight_layers: int
+    operator_layers: int
+    input_size: str
+    structure: str
+    gflops_per_sample: float
+
+
+def table1_characteristics(
+    models: Sequence[str] = tuple(TABLE1_MODELS),
+) -> List[WorkloadCharacteristics]:
+    """Compute Table 1's rows from the model zoo."""
+    rows = []
+    for name in models:
+        entry = model_entry(name)
+        graph = build_model(name)
+        c, h, w = entry.input_shape
+        rows.append(
+            WorkloadCharacteristics(
+                model=name,
+                params_millions=graph.total_params() / 1e6,
+                weight_layers=graph.num_weight_layers(),
+                operator_layers=graph.num_operator_layers(),
+                input_size=f"{c} x {h} x {w}",
+                structure=entry.structure,
+                gflops_per_sample=graph.total_flops_per_sample() / 1e9,
+            )
+        )
+    return rows

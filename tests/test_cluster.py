@@ -1,0 +1,213 @@
+"""Tests for the cluster layer (jobs, coordinator, executor, baselines)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterExecutor,
+    ClusterPartitionBaseline,
+    CollocationProfile,
+    GPURuntime,
+    JobKind,
+    ScenarioThroughput,
+    TradeoffPoint,
+    TrainingJob,
+    pareto_frontier,
+)
+from repro.core.planner import BurstParallelPlanner, PlannerConfig
+from repro.models import vgg16
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return get_fabric("nvswitch")
+
+
+@pytest.fixture(scope="module")
+def planner(fabric):
+    return BurstParallelPlanner(fabric, LayerProfiler(), PlannerConfig(2.0))
+
+
+@pytest.fixture(scope="module")
+def vgg_job():
+    return TrainingJob(name="vgg16", graph=vgg16(), global_batch=32)
+
+
+@pytest.fixture(scope="module")
+def bp_plan(planner, vgg_job):
+    return planner.plan(vgg_job.graph, vgg_job.global_batch, 8)
+
+
+class TestTrainingJob:
+    def test_foreground_and_background_conversion(self, vgg_job):
+        assert vgg_job.is_foreground
+        bg = vgg_job.background(batch=4)
+        assert bg.is_background
+        assert bg.global_batch == 4
+        assert bg.kind is JobKind.BACKGROUND
+        assert bg.name.endswith("-bg")
+
+    def test_invalid_job_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingJob(name="bad", graph=vgg16(), global_batch=0)
+        with pytest.raises(ValueError):
+            TrainingJob(name="bad", graph=vgg16(), global_batch=8, amplification_limit=0.5)
+
+
+class TestGPURuntime:
+    def test_busy_and_idle_fractions(self, bp_plan):
+        runtime = GPURuntime(gpu_id=0)
+        for a in bp_plan.assignments[:5]:
+            runtime.assign_stage(a)
+        busy = runtime.busy_fraction(bp_plan.iteration_time)
+        assert 0.0 <= busy <= 1.0
+        assert runtime.idle_fraction(bp_plan.iteration_time) == pytest.approx(1 - busy)
+
+    def test_attach_background_requires_background_job(self, vgg_job):
+        runtime = GPURuntime(gpu_id=0)
+        with pytest.raises(ValueError):
+            runtime.attach_background(vgg_job)
+        runtime.attach_background(vgg_job.background(batch=4))
+        assert runtime.background_job is not None
+
+
+class TestClusterCoordinator:
+    def test_placement_covers_all_gpus_in_widest_stage(self, bp_plan):
+        coordinator = ClusterCoordinator(num_gpus=8)
+        runtimes = coordinator.place_plan(bp_plan)
+        # GPU 0 participates in every non-parallel stage; the last GPU only
+        # in the widest stages, so it is busy for less time.
+        assert runtimes[0].foreground_busy_time >= runtimes[-1].foreground_busy_time
+        assert all(rt.foreground_busy_time >= 0 for rt in runtimes)
+
+    def test_placement_accepts_json_plans(self, bp_plan):
+        coordinator = ClusterCoordinator(num_gpus=8)
+        runtimes = coordinator.place_plan(bp_plan.to_json())
+        assert sum(rt.foreground_busy_time for rt in runtimes) == pytest.approx(
+            bp_plan.total_gpu_seconds(), rel=1e-6
+        )
+
+    def test_plan_larger_than_cluster_rejected(self, bp_plan):
+        coordinator = ClusterCoordinator(num_gpus=4)
+        with pytest.raises(ValueError):
+            coordinator.place_plan(bp_plan)
+
+    def test_busy_fractions_and_idle_gpu_seconds(self, bp_plan):
+        coordinator = ClusterCoordinator(num_gpus=8)
+        coordinator.place_plan(bp_plan)
+        fractions = coordinator.busy_fractions(bp_plan.iteration_time)
+        assert len(fractions) == 8
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        idle = coordinator.idle_gpu_seconds(bp_plan.iteration_time)
+        total = 8 * bp_plan.iteration_time
+        assert 0.0 <= idle <= total
+
+    def test_background_placement(self, vgg_job):
+        coordinator = ClusterCoordinator(num_gpus=4)
+        coordinator.place_background(vgg_job.background(batch=2))
+        assert all(rt.background_job is not None for rt in coordinator.runtimes)
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            ClusterCoordinator(num_gpus=0)
+
+
+class TestCollocationProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollocationProfile(fg_slowdown=0.5)
+        with pytest.raises(ValueError):
+            CollocationProfile(bg_busy_efficiency=1.5)
+
+    def test_defaults_are_sane(self):
+        profile = CollocationProfile()
+        assert profile.fg_slowdown >= 1.0
+        assert profile.bg_idle_efficiency > profile.bg_busy_efficiency
+
+
+class TestClusterExecutor:
+    def test_plan_without_background_has_no_bg_throughput(self, fabric, bp_plan):
+        executor = ClusterExecutor(fabric)
+        scenario = executor.execute_plan(bp_plan, label="BP")
+        assert scenario.bg_throughput == 0.0
+        assert scenario.fg_throughput == pytest.approx(
+            bp_plan.global_batch / bp_plan.iteration_time
+        )
+
+    def test_collocation_adds_bg_and_slows_fg(self, fabric, bp_plan, vgg_job):
+        executor = ClusterExecutor(fabric)
+        profile = CollocationProfile(fg_slowdown=1.2, bg_busy_efficiency=0.3)
+        alone = executor.execute_plan(bp_plan)
+        collocated = executor.execute_plan(
+            bp_plan, background=vgg_job.background(batch=4), collocation=profile
+        )
+        assert collocated.bg_throughput > 0
+        assert collocated.fg_throughput < alone.fg_throughput
+        assert collocated.total_throughput > alone.total_throughput
+
+    def test_bg_throughput_bounded_by_bg_only(self, fabric, bp_plan, vgg_job):
+        executor = ClusterExecutor(fabric)
+        bg = vgg_job.background(batch=4)
+        collocated = executor.execute_plan(
+            bp_plan, background=bg, collocation=CollocationProfile()
+        )
+        ceiling = executor.background_only(bg, bp_plan.total_gpus)
+        assert collocated.bg_throughput <= ceiling.bg_throughput
+
+    def test_figure9_scenarios_structure(self, fabric, vgg_job):
+        executor = ClusterExecutor(fabric)
+        scenarios = executor.figure9_scenarios(vgg_job, 8, bg_batch=4)
+        labels = [s.label for s in scenarios]
+        assert labels == ["DP", "BP", "BP + Col", "BG Only"]
+        dp, bp, col, bg_only = scenarios
+        assert col.total_throughput > dp.total_throughput
+        assert bg_only.fg_throughput == 0.0
+
+
+class TestPartitionBaseline:
+    def test_partition_sweep(self, fabric, vgg_job):
+        baseline = ClusterPartitionBaseline(fabric)
+        scenarios = baseline.sweep(vgg_job, vgg_job.background(batch=8), 8)
+        assert len(scenarios) == 4
+        # More foreground GPUs -> faster foreground, less background.
+        assert scenarios[-1].fg_throughput > scenarios[0].fg_throughput
+        assert scenarios[-1].bg_throughput < scenarios[0].bg_throughput
+        assert scenarios[-1].bg_throughput == 0.0  # 8+0 partition
+
+    def test_invalid_partition_rejected(self, fabric, vgg_job):
+        baseline = ClusterPartitionBaseline(fabric)
+        with pytest.raises(ValueError):
+            baseline.evaluate(vgg_job, vgg_job.background(batch=8), 8, 0)
+
+    def test_tradeoff_points_speedup_reference(self, fabric, vgg_job):
+        baseline = ClusterPartitionBaseline(fabric)
+        points = baseline.tradeoff_points(vgg_job, vgg_job.background(batch=8), 8)
+        by_label = {p.label: p for p in points}
+        assert by_label["Partition 1+7"].fg_speedup == pytest.approx(1.0, rel=0.05)
+        assert by_label["Partition 8+0"].fg_speedup > 1.5
+
+
+class TestTradeoffHelpers:
+    def test_dominance(self):
+        a = TradeoffPoint("a", fg_speedup=2.0, cluster_throughput=100.0)
+        b = TradeoffPoint("b", fg_speedup=1.0, cluster_throughput=50.0)
+        c = TradeoffPoint("c", fg_speedup=3.0, cluster_throughput=40.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c) and not c.dominates(a)
+
+    def test_pareto_frontier(self):
+        points = [
+            TradeoffPoint("a", 2.0, 100.0),
+            TradeoffPoint("b", 1.0, 50.0),
+            TradeoffPoint("c", 3.0, 40.0),
+        ]
+        frontier = pareto_frontier(points)
+        labels = [p.label for p in frontier]
+        assert labels == ["a", "c"]
+
+    def test_scenario_total(self):
+        s = ScenarioThroughput("x", fg_throughput=10.0, bg_throughput=5.0)
+        assert s.total_throughput == 15.0

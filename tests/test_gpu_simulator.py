@@ -1,0 +1,223 @@
+"""Tests for the GPU device simulator (kernels, queues, scheduling)."""
+
+import pytest
+
+from repro.gpu import (
+    DeviceConfig,
+    GPUSimulator,
+    Kernel,
+    LaunchOp,
+    TaskWorkload,
+    TrainingTaskBuilder,
+    split_into_graphs,
+    synthetic_workload,
+)
+from repro.models import vgg16
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+
+
+class TestKernelTypes:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", duration=-1.0, occupancy=0.5)
+        with pytest.raises(ValueError):
+            Kernel("bad", duration=1.0, occupancy=0.0)
+        with pytest.raises(ValueError):
+            Kernel("bad", duration=1.0, occupancy=0.5, sensitive_slowdown=0.5)
+
+    def test_launch_op_requires_kernels(self):
+        with pytest.raises(ValueError):
+            LaunchOp(kernels=())
+
+    def test_launch_op_duration(self):
+        k = Kernel("k", 1e-3, 0.5)
+        op = LaunchOp(kernels=(k, k, k))
+        assert op.duration == pytest.approx(3e-3)
+        assert op.num_kernels == 3
+
+    def test_split_into_graphs(self):
+        kernels = [Kernel(f"k{i}", 1e-4, 0.5) for i in range(10)]
+        ops = split_into_graphs(kernels, 4)
+        assert [op.num_kernels for op in ops] == [4, 4, 2]
+        assert all(op.is_graph for op in ops)
+        single = split_into_graphs(kernels, None)
+        assert len(single) == 1 and single[0].num_kernels == 10
+        assert split_into_graphs([], 4) == []
+        with pytest.raises(ValueError):
+            split_into_graphs(kernels, 0)
+
+    def test_task_workload_validation(self):
+        op = LaunchOp(kernels=(Kernel("k", 1e-3, 0.5),))
+        with pytest.raises(ValueError):
+            TaskWorkload("t", [], samples_per_iteration=1)
+        with pytest.raises(ValueError):
+            TaskWorkload("t", [op], samples_per_iteration=0)
+        with pytest.raises(ValueError):
+            TaskWorkload("t", [op], samples_per_iteration=1, max_outstanding_ops=0)
+        wl = TaskWorkload("t", [op, op], samples_per_iteration=4)
+        assert wl.iteration_device_time == pytest.approx(2e-3)
+        assert wl.num_kernels_per_iteration == 2
+
+
+class TestGPUSimulator:
+    def test_requires_at_least_one_task(self):
+        with pytest.raises(ValueError):
+            GPUSimulator([])
+
+    def test_duplicate_task_ids_rejected(self):
+        wl = synthetic_workload("t", 1e-4, 0.5)
+        with pytest.raises(ValueError):
+            GPUSimulator([wl, wl])
+
+    def test_invalid_sim_time_rejected(self):
+        wl = synthetic_workload("t", 1e-4, 0.5)
+        with pytest.raises(ValueError):
+            GPUSimulator([wl]).run(0.0)
+
+    def test_single_task_throughput_matches_kernel_rate(self):
+        """One task of back-to-back 1 ms kernels completes ~1000 kernels/s."""
+        wl = synthetic_workload("t", 1e-3, 1.0, kernels_per_iteration=10)
+        result = GPUSimulator([wl]).run(0.5)
+        stats = result.task("t")
+        assert stats.kernels_completed == pytest.approx(500, rel=0.1)
+        # Samples == kernels for the synthetic workload.
+        assert stats.throughput_samples_per_s == pytest.approx(1000, rel=0.1)
+
+    def test_device_utilization_bounds(self):
+        wl = synthetic_workload("t", 1e-3, 0.5, kernels_per_iteration=10)
+        result = GPUSimulator([wl]).run(0.2)
+        assert 0.0 < result.device_utilization <= 1.0
+
+    def test_low_occupancy_tasks_share_the_device(self):
+        """Two half-occupancy tasks together exceed one task's throughput."""
+        a = synthetic_workload("a", 1e-3, 0.4, priority=1, max_outstanding_ops=4)
+        b = synthetic_workload("b", 1e-3, 0.4, priority=0, max_outstanding_ops=4)
+        alone = GPUSimulator([synthetic_workload("a", 1e-3, 0.4, max_outstanding_ops=4)]).run(0.2)
+        both = GPUSimulator([a, b]).run(0.2)
+        total_both = sum(t.throughput_samples_per_s for t in both.tasks.values())
+        assert total_both > 1.3 * alone.throughput("a")
+
+    def test_full_occupancy_tasks_serialize(self):
+        a = synthetic_workload("a", 1e-3, 1.0, priority=1, max_outstanding_ops=4)
+        b = synthetic_workload("b", 1e-3, 1.0, priority=0, max_outstanding_ops=4)
+        result = GPUSimulator([a, b]).run(0.2)
+        total = sum(t.throughput_samples_per_s for t in result.tasks.values())
+        # The device can't do more than ~1000 kernel-ms per second in total.
+        assert total < 1100
+
+    def test_priorities_protect_high_priority_task(self):
+        hp = synthetic_workload("hp", 1e-4, 1.0, priority=1, max_outstanding_ops=4)
+        lp = synthetic_workload("lp", 5e-3, 1.0, priority=0, max_outstanding_ops=4)
+        with_prio = GPUSimulator(
+            [hp, lp], DeviceConfig(use_stream_priorities=True)
+        ).run(0.2)
+        without_prio = GPUSimulator(
+            [synthetic_workload("hp", 1e-4, 1.0, priority=1, max_outstanding_ops=4),
+             synthetic_workload("lp", 5e-3, 1.0, priority=0, max_outstanding_ops=4)],
+            DeviceConfig(use_stream_priorities=False),
+        ).run(0.2)
+        assert with_prio.throughput("hp") > without_prio.throughput("hp")
+
+    def test_non_preemption_hurts_short_high_priority_kernels(self):
+        """The Figure 12 effect: short HP kernels wait for long LP kernels."""
+        hp_alone = GPUSimulator(
+            [synthetic_workload("hp", 1e-5, 1.0, priority=1)]
+        ).run(0.1)
+        hp = synthetic_workload("hp", 1e-5, 1.0, priority=1)
+        lp = synthetic_workload("lp", 5e-3, 1.0, priority=0)
+        together = GPUSimulator([hp, lp]).run(0.1)
+        assert together.throughput("hp") < 0.6 * hp_alone.throughput("hp")
+
+    def test_sensitive_kernel_slowdown_recorded(self):
+        sensitive = TaskWorkload(
+            "fg",
+            [LaunchOp(kernels=(Kernel("allreduce", 1e-3, 0.15,
+                                      interference_sensitive=True),))],
+            samples_per_iteration=1,
+            priority=1,
+        )
+        bg = synthetic_workload("bg", 1e-3, 0.5, priority=0, max_outstanding_ops=4)
+        result = GPUSimulator([sensitive, bg]).run(0.1)
+        observed = result.task("fg").mean_kernel_time("allreduce")
+        assert observed > 1.5e-3  # inflated well beyond its isolated 1 ms
+
+    def test_exclusive_sensitive_ops_protects_allreduce(self):
+        def build():
+            fg = TaskWorkload(
+                "fg",
+                [LaunchOp(kernels=(Kernel("k", 2e-4, 0.5),)),
+                 LaunchOp(kernels=(Kernel("allreduce", 1e-3, 0.15,
+                                          interference_sensitive=True),))],
+                samples_per_iteration=4,
+                priority=1,
+            )
+            bg = synthetic_workload("bg", 5e-4, 0.5, priority=0, max_outstanding_ops=2)
+            return fg, bg
+
+        fg, bg = build()
+        unprotected = GPUSimulator(
+            [fg, bg], DeviceConfig(exclusive_sensitive_ops=False)
+        ).run(0.2)
+        fg2, bg2 = build()
+        protected = GPUSimulator(
+            [fg2, bg2], DeviceConfig(exclusive_sensitive_ops=True)
+        ).run(0.2)
+        assert (
+            protected.task("fg").mean_kernel_time("allreduce")
+            <= unprotected.task("fg").mean_kernel_time("allreduce") + 1e-9
+        )
+
+    def test_stats_record_iterations_and_busy_time(self):
+        wl = synthetic_workload("t", 1e-4, 0.5, kernels_per_iteration=8)
+        stats = GPUSimulator([wl]).run(0.05).task("t")
+        assert stats.iterations_completed > 0
+        assert stats.busy_time > 0
+        assert stats.last_iteration_end >= stats.first_iteration_end > 0
+
+
+class TestTrainingTaskBuilder:
+    def setup_method(self):
+        self.builder = TrainingTaskBuilder(LayerProfiler(), get_fabric("nvswitch"))
+        self.graph = vgg16()
+
+    def test_kernel_counts_match_profiler(self):
+        kernels = self.builder.kernels_for_iteration(self.graph, 4, sync_gpus=1)
+        profiler = LayerProfiler()
+        expected = sum(
+            profiler.layer_timing(spec, 4).num_kernels for spec in self.graph.specs()
+        )
+        assert len(kernels) == expected
+
+    def test_sync_kernels_added_for_distributed_jobs(self):
+        local = self.builder.kernels_for_iteration(self.graph, 4, sync_gpus=1)
+        distributed = self.builder.kernels_for_iteration(self.graph, 4, sync_gpus=8)
+        extra = len(distributed) - len(local)
+        assert extra >= 1
+        assert all(k.interference_sensitive for k in distributed[-extra:])
+
+    def test_backward_kernels_in_reverse_layer_order(self):
+        kernels = self.builder.kernels_for_iteration(self.graph, 4, sync_gpus=1)
+        bwd_names = [k.name for k in kernels if ".bwd" in k.name]
+        first_layer_bwd = max(
+            i for i, name in enumerate(bwd_names) if name.startswith("features.conv1.")
+        )
+        assert first_layer_bwd == len(bwd_names) - 1
+
+    def test_graphs_reduce_launch_count_and_host_latency(self):
+        eager = self.builder.build_task(self.graph, 4, "t", use_cuda_graphs=False)
+        graphs = self.builder.build_task(self.graph, 4, "t", use_cuda_graphs=True,
+                                         graph_split_size=24)
+        assert len(graphs.iteration_ops) < len(eager.iteration_ops)
+        assert graphs.iteration_device_time == pytest.approx(
+            eager.iteration_device_time, rel=1e-6
+        )
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            self.builder.kernels_for_iteration(self.graph, 0)
+
+    def test_synthetic_workload_shape(self):
+        wl = synthetic_workload("s", 1e-3, 0.5, kernels_per_iteration=7)
+        assert wl.num_kernels_per_iteration == 7
+        assert wl.samples_per_iteration == 7

@@ -1,0 +1,140 @@
+"""Integration tests: planner -> JSON plan -> coordinator -> executor -> report.
+
+These exercise the full DeepPool pipeline the way the examples do, checking
+the paper's qualitative end-to-end claims on the simulated substrates.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterExecutor,
+    ClusterPartitionBaseline,
+    CollocationProfile,
+    TrainingJob,
+    pareto_frontier,
+)
+from repro.cluster.throughput import TradeoffPoint
+from repro.core.multiplexing import GPUCollocationRunner, MultiplexConfig
+from repro.core.planner import BurstParallelPlanner, PlannerConfig, TrainingPlan
+from repro.models import build_model, model_entry
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler, per_gpu_batch
+
+NUM_GPUS = 8
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return get_fabric("nvswitch")
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return LayerProfiler()
+
+
+@pytest.fixture(scope="module")
+def planner(fabric, profiler):
+    return BurstParallelPlanner(fabric, profiler, PlannerConfig(amplification_limit=2.0))
+
+
+class TestEndToEndPipeline:
+    def test_plan_submission_roundtrip_and_placement(self, planner):
+        """User submits a model; the plan travels as JSON to the coordinator."""
+        graph = build_model("vgg16")
+        plan = planner.plan(graph, 32, NUM_GPUS)
+        submitted = plan.to_json()
+
+        coordinator = ClusterCoordinator(num_gpus=NUM_GPUS)
+        runtimes = coordinator.place_plan(submitted)
+
+        restored = TrainingPlan.from_json(submitted)
+        assert sum(rt.foreground_busy_time for rt in runtimes) == pytest.approx(
+            restored.total_gpu_seconds(), rel=1e-6
+        )
+        # Burst parallelism leaves reclaimable idle GPU time on the cluster.
+        assert coordinator.idle_gpu_seconds(restored.iteration_time) > 0
+
+    def test_calibrated_collocation_improves_cluster_throughput(self, fabric, profiler, planner):
+        """The headline Figure 9 claim on one workload, fully wired together."""
+        name = "vgg16"
+        entry = model_entry(name)
+        graph = build_model(name)
+        job = TrainingJob(name=name, graph=graph, global_batch=entry.default_global_batch)
+
+        runner = GPUCollocationRunner(profiler, fabric, sim_time=0.05)
+        profile = CollocationProfile.calibrate(
+            runner,
+            graph,
+            per_gpu_batch(entry.default_global_batch, NUM_GPUS),
+            graph,
+            MultiplexConfig(bg_batch_size=4),
+            sync_gpus=NUM_GPUS,
+        )
+        assert profile.fg_slowdown < 2.0
+        assert 0.0 < profile.bg_busy_efficiency <= 1.0
+
+        executor = ClusterExecutor(fabric, profiler, planner)
+        scenarios = executor.figure9_scenarios(
+            job, NUM_GPUS, bg_batch=4, collocation=profile
+        )
+        dp, bp, col, bg_only = scenarios
+        # Cluster throughput improves over single-task data parallelism
+        # (the paper reports 1.2 - 2.3x across workloads).
+        assert col.total_throughput > 1.2 * dp.total_throughput
+        # The foreground keeps most of its burst-parallel throughput.
+        assert col.fg_throughput > 0.75 * bp.fg_throughput
+        # Reclaimed background throughput cannot exceed the BG-only ceiling.
+        assert col.bg_throughput < bg_only.bg_throughput
+
+    def test_bp_col_operating_points_compete_with_partitioning(self, fabric, profiler, planner):
+        """Figure 10's qualitative claim for one workload at a few settings."""
+        graph = build_model("vgg16")
+        job = TrainingJob(name="vgg16", graph=graph, global_batch=32)
+        executor = ClusterExecutor(fabric, profiler, planner)
+        single = planner.single_gpu_plan(graph, 32)
+
+        bp_points = []
+        for amp in (1.5, 4.0):
+            plan = planner.plan(graph, 32, NUM_GPUS, amp)
+            scenario = executor.execute_plan(
+                plan, background=job.background(batch=4),
+                collocation=CollocationProfile(),
+            )
+            bp_points.append(
+                TradeoffPoint(
+                    label=f"amp={amp}",
+                    fg_speedup=single.iteration_time / scenario.fg_iteration_time,
+                    cluster_throughput=scenario.total_throughput,
+                )
+            )
+
+        baseline = ClusterPartitionBaseline(fabric, profiler, planner)
+        partition_points = baseline.tradeoff_points(job, job.background(batch=4), NUM_GPUS)
+
+        # The 4-GPU partition is an interior point; some BP+Col operating
+        # point should give at least its throughput with a better speedup.
+        four = next(p for p in partition_points if p.label == "Partition 4+4")
+        frontier = pareto_frontier(bp_points)
+        competitive = [
+            p for p in frontier if p.cluster_throughput >= four.cluster_throughput
+        ]
+        assert competitive, "no BP+Col point reaches the 4+4 partition's throughput"
+        assert max(p.fg_speedup for p in competitive) > four.fg_speedup
+
+    def test_amplification_limit_trades_speed_for_efficiency(self, planner):
+        """The planner's central knob behaves as the paper describes."""
+        graph = build_model("vgg16")
+        single = planner.single_gpu_plan(graph, 32)
+        plans = {
+            amp: planner.plan(graph, 32, NUM_GPUS, amp) for amp in (1.25, 2.0, 8.0)
+        }
+        iteration_times = [plans[a].iteration_time for a in (1.25, 2.0, 8.0)]
+        amplifications = [
+            plans[a].amplification(single.iteration_time) for a in (1.25, 2.0, 8.0)
+        ]
+        # Looser limits can only speed up the iteration...
+        assert iteration_times[0] >= iteration_times[1] >= iteration_times[2]
+        # ...at the price of more aggregate GPU-seconds (lower efficiency).
+        assert amplifications[0] <= amplifications[-1] + 1e-9

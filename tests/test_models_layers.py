@@ -1,0 +1,145 @@
+"""Tests for the shape-tracking graph builder and layer math."""
+
+import pytest
+
+from repro.models import GraphBuilder, Shape, conv_output_hw, pool_output_hw
+
+
+class TestShapeMath:
+    def test_conv_same_padding(self):
+        assert conv_output_hw(224, 224, kernel=3, stride=1, padding=1) == (224, 224)
+
+    def test_conv_stride_two(self):
+        assert conv_output_hw(224, 224, kernel=7, stride=2, padding=3) == (112, 112)
+
+    def test_conv_rectangular_kernel(self):
+        assert conv_output_hw(17, 17, kernel=(1, 7), stride=1, padding=(0, 3)) == (17, 17)
+
+    def test_conv_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 2, kernel=5)
+
+    def test_pool_default_stride_equals_kernel(self):
+        assert pool_output_hw(224, 224, kernel=2) == (112, 112)
+
+    def test_pool_ceil_mode(self):
+        assert pool_output_hw(5, 5, kernel=2, stride=2, ceil_mode=True) == (3, 3)
+        assert pool_output_hw(5, 5, kernel=2, stride=2, ceil_mode=False) == (2, 2)
+
+    def test_shape_elems(self):
+        assert Shape(64, 10, 10).elems == 6400
+        assert Shape(100, flat=True).as_tuple() == (100,)
+
+
+class TestGraphBuilder:
+    def test_input_layer_created(self):
+        b = GraphBuilder("m", (3, 32, 32))
+        assert b.current_shape.as_tuple() == (3, 32, 32)
+        graph = b.graph
+        assert graph.spec(b.cursor).op == "input"
+
+    def test_conv_flops_and_params(self):
+        b = GraphBuilder("m", (3, 32, 32))
+        lid = b.add_conv2d("conv", out_channels=16, kernel=3, padding=1, bias=True)
+        spec = b.graph.spec(lid)
+        # params: 3*16*3*3 + 16 bias
+        assert spec.params == 3 * 16 * 9 + 16
+        # flops: 2 * Cout*H*W*Cin*K*K
+        assert spec.flops_per_sample == pytest.approx(2 * 16 * 32 * 32 * 3 * 9)
+        assert b.current_shape.as_tuple() == (16, 32, 32)
+
+    def test_conv_without_bias(self):
+        b = GraphBuilder("m", (3, 8, 8))
+        lid = b.add_conv2d("conv", 4, kernel=1, bias=False)
+        assert b.graph.spec(lid).params == 3 * 4
+
+    def test_dense_flattens_input(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        lid = b.add_dense("fc", 10)
+        spec = b.graph.spec(lid)
+        assert spec.params == 8 * 4 * 4 * 10 + 10
+        assert spec.flops_per_sample == pytest.approx(2 * 128 * 10)
+        assert b.current_shape.flat
+
+    def test_batchnorm_params(self):
+        b = GraphBuilder("m", (32, 8, 8))
+        lid = b.add_batchnorm("bn")
+        assert b.graph.spec(lid).params == 64
+
+    def test_relu_preserves_shape_and_has_no_params(self):
+        b = GraphBuilder("m", (32, 8, 8))
+        lid = b.add_relu("relu")
+        spec = b.graph.spec(lid)
+        assert spec.params == 0
+        assert spec.output_elems_per_sample == 32 * 8 * 8
+
+    def test_maxpool_halves_spatial_size(self):
+        b = GraphBuilder("m", (32, 8, 8))
+        b.add_maxpool("pool", kernel=2, stride=2)
+        assert b.current_shape.as_tuple() == (32, 4, 4)
+
+    def test_global_avgpool(self):
+        b = GraphBuilder("m", (32, 7, 7))
+        b.add_global_avgpool("gap")
+        assert b.current_shape.as_tuple() == (32, 1, 1)
+
+    def test_flatten(self):
+        b = GraphBuilder("m", (32, 2, 2))
+        b.add_flatten("flat")
+        assert b.current_shape.as_tuple() == (128,)
+
+    def test_add_join_requires_matching_shapes(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        split = b.cursor
+        left = b.add_conv2d("left", 8, kernel=3, padding=1, input_id=split)
+        right = b.add_conv2d("right", 16, kernel=3, padding=1, input_id=split)
+        with pytest.raises(ValueError):
+            b.add_add("bad_join", [left, right])
+
+    def test_add_join_shape(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        split = b.cursor
+        left = b.add_conv2d("left", 8, kernel=3, padding=1, input_id=split)
+        right = b.add_conv2d("right", 8, kernel=3, padding=1, input_id=split)
+        join = b.add_add("join", [left, right])
+        assert b.graph.spec(join).output_elems_per_sample == 8 * 4 * 4
+        assert b.graph.in_degree(join) == 2
+
+    def test_concat_sums_channels(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        split = b.cursor
+        left = b.add_conv2d("left", 8, kernel=1, input_id=split)
+        right = b.add_conv2d("right", 24, kernel=1, input_id=split)
+        b.add_concat("cat", [left, right])
+        assert b.current_shape.as_tuple() == (32, 4, 4)
+
+    def test_concat_requires_matching_spatial_dims(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        split = b.cursor
+        left = b.add_conv2d("left", 8, kernel=1, input_id=split)
+        right = b.add_conv2d("right", 8, kernel=3, input_id=split)  # shrinks to 2x2
+        with pytest.raises(ValueError):
+            b.add_concat("cat", [left, right])
+
+    def test_conv_bn_relu_compound(self):
+        b = GraphBuilder("m", (3, 16, 16))
+        b.add_conv_bn_relu("block", 8, kernel=3, padding=1)
+        graph = b.finish()
+        names = [s.name for s in graph.specs()]
+        assert "block.conv" in names and "block.bn" in names and "block.relu" in names
+        # Conv inside the compound has no bias (BN provides the shift).
+        conv = next(s for s in graph.specs() if s.name == "block.conv")
+        assert conv.params == 3 * 8 * 9
+
+    def test_set_cursor_for_branching(self):
+        b = GraphBuilder("m", (4, 4, 4))
+        split = b.cursor
+        b.add_conv2d("a", 4, kernel=1)
+        b.set_cursor(split)
+        b.add_conv2d("b", 4, kernel=1)
+        assert b.graph.out_degree(split) == 2
+
+    def test_set_cursor_unknown_layer_raises(self):
+        b = GraphBuilder("m", (4, 4, 4))
+        with pytest.raises(KeyError):
+            b.set_cursor(1234)

@@ -1,0 +1,118 @@
+"""Tests for the model zoo: structure and published parameter counts."""
+
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    TABLE1_MODELS,
+    available_models,
+    build_model,
+    inception_v3,
+    model_entry,
+    resnet50,
+    vgg11,
+    vgg16,
+    wide_resnet101_2,
+)
+
+
+class TestParameterCounts:
+    """Published parameter counts (torchvision) within 2%."""
+
+    @pytest.mark.parametrize(
+        "builder,expected_millions",
+        [
+            (vgg11, 132.9),
+            (vgg16, 138.4),
+            (resnet50, 25.6),
+            (wide_resnet101_2, 126.9),
+            (inception_v3, 23.8),
+        ],
+    )
+    def test_param_count(self, builder, expected_millions):
+        graph = builder()
+        params_m = graph.total_params() / 1e6
+        assert params_m == pytest.approx(expected_millions, rel=0.02)
+
+
+class TestStructure:
+    def test_vgg_models_are_chains(self):
+        assert vgg11().is_chain()
+        assert vgg16().is_chain()
+
+    def test_vgg16_has_13_convs_and_3_fcs(self):
+        graph = vgg16()
+        ops = [s.op for s in graph.specs()]
+        assert ops.count("conv2d") == 13
+        assert ops.count("dense") == 3
+        assert ops.count("maxpool") == 5
+
+    def test_resnet_models_branch(self):
+        assert not resnet50().is_chain()
+        assert not wide_resnet101_2().is_chain()
+
+    def test_resnet50_block_count(self):
+        graph = resnet50()
+        # 16 bottleneck blocks -> 16 residual additions.
+        adds = [s for s in graph.specs() if s.op == "add"]
+        assert len(adds) == 16
+
+    def test_wide_resnet101_block_count(self):
+        graph = wide_resnet101_2()
+        adds = [s for s in graph.specs() if s.op == "add"]
+        assert len(adds) == 33
+
+    def test_wide_resnet_is_wider_than_resnet101(self):
+        from repro.models import resnet101
+
+        wide = wide_resnet101_2(input_shape=(3, 224, 224))
+        narrow = resnet101()
+        assert wide.total_params() > 1.5 * narrow.total_params()
+
+    def test_inception_branches_and_concats(self):
+        graph = inception_v3()
+        concats = [s for s in graph.specs() if s.op == "concat"]
+        # 11 inception modules plus the nested concatenations inside the two
+        # InceptionE modules (2 each).
+        assert len(concats) >= 11
+        assert len(graph.branch_layers()) >= 11
+
+    def test_all_models_validate(self):
+        for name in available_models():
+            graph = build_model(name)
+            graph.validate()
+            assert graph.source() is not None
+            assert graph.sink() is not None
+
+    def test_flops_are_plausible(self):
+        # Known forward GFLOPs per sample (within 20%).
+        assert vgg16().total_flops_per_sample() / 1e9 == pytest.approx(30.9, rel=0.2)
+        assert resnet50().total_flops_per_sample() / 1e9 == pytest.approx(8.2, rel=0.2)
+        assert inception_v3().total_flops_per_sample() / 1e9 == pytest.approx(11.4, rel=0.2)
+
+
+class TestRegistry:
+    def test_available_models_sorted_and_complete(self):
+        names = available_models()
+        assert names == sorted(names)
+        for expected in ["vgg16", "wide_resnet101_2", "inception_v3", "resnet50", "vgg11"]:
+            assert expected in names
+
+    def test_table1_models(self):
+        assert TABLE1_MODELS == ["vgg16", "wide_resnet101_2", "inception_v3"]
+
+    def test_model_entry_lookup(self):
+        entry = model_entry("vgg16")
+        assert entry.input_shape == (3, 224, 224)
+        assert entry.default_global_batch == 32
+
+    def test_unknown_model_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as err:
+            model_entry("vgg99")
+        assert "available" in str(err.value)
+
+    def test_build_model_matches_registry_input_shape(self):
+        for name, entry in MODEL_REGISTRY.items():
+            graph = build_model(name)
+            input_spec = graph.spec(graph.source())
+            assert input_spec.output_shape == entry.input_shape

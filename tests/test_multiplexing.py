@@ -1,0 +1,147 @@
+"""Tests for the GPU multiplexing layer (config, slowdown loop, collocation)."""
+
+import pytest
+
+from repro.core.multiplexing import (
+    GPUCollocationRunner,
+    MultiplexConfig,
+    SlowdownMonitor,
+    figure11_stages,
+    pairwise_collocation_matrix,
+)
+from repro.models import vgg16
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+
+
+class TestMultiplexConfig:
+    def test_defaults_enable_all_protections(self):
+        config = MultiplexConfig()
+        assert config.use_cuda_graphs
+        assert config.use_stream_priorities
+        assert config.slowdown_feedback
+        assert config.bg_outstanding_ops is not None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplexConfig(bg_batch_size=0)
+        with pytest.raises(ValueError):
+            MultiplexConfig(slowdown_threshold=0.5)
+
+    def test_with_overrides(self):
+        config = MultiplexConfig().with_overrides(bg_batch_size=8)
+        assert config.bg_batch_size == 8
+        assert config.use_cuda_graphs  # unchanged
+
+    def test_figure11_stages_are_cumulative(self):
+        stages = figure11_stages()
+        labels = [label for label, _ in stages]
+        assert labels[0] == "VGG BP"
+        assert labels[-1] == "+ Reducing BE Batch Size"
+        assert len(stages) == 7
+        configs = dict(stages)
+        assert not configs["VGG BP"].use_cuda_graphs
+        assert configs["+ Graph"].use_cuda_graphs
+        assert not configs["+ Graph"].collocate_background
+        assert configs["+ Naive Collocation"].collocate_background
+        assert not configs["+ Naive Collocation"].use_stream_priorities
+        assert configs["+ Stream Priorities"].use_stream_priorities
+        assert configs["+ Stream Priorities"].bg_outstanding_ops is None
+        assert configs["+ Launch Pacing"].bg_outstanding_ops is not None
+        assert configs["+ Slowdown Feedback Loop"].slowdown_feedback
+        assert (
+            configs["+ Reducing BE Batch Size"].bg_batch_size
+            < configs["+ Slowdown Feedback Loop"].bg_batch_size
+        )
+
+
+class TestSlowdownMonitor:
+    def test_flags_operators_above_threshold(self):
+        monitor = SlowdownMonitor(threshold=1.5)
+        monitor.observe_durations(
+            isolated={"allreduce": 1.0, "conv": 2.0},
+            collocated={"allreduce": 2.4, "conv": 2.1},
+        )
+        assert monitor.sensitive_operators() == ["allreduce"]
+        assert monitor.slowdown_of("allreduce") == pytest.approx(2.4)
+        assert monitor.slowdown_of("conv") == pytest.approx(1.05)
+        assert monitor.slowdown_of("unknown") == 1.0
+        assert monitor.worst().name == "allreduce"
+
+    def test_empty_monitor(self):
+        monitor = SlowdownMonitor()
+        assert monitor.sensitive_operators() == []
+        assert monitor.worst() is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SlowdownMonitor(threshold=0.9)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return GPUCollocationRunner(LayerProfiler(), get_fabric("nvswitch"), sim_time=0.05)
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return vgg16()
+
+
+class TestCollocationRunner:
+    def test_invalid_sim_time(self):
+        with pytest.raises(ValueError):
+            GPUCollocationRunner(sim_time=0.0)
+
+    def test_isolated_scenario_has_no_background(self, runner, vgg):
+        config = MultiplexConfig(collocate_background=False)
+        result = runner.run_scenario(vgg, 4, vgg, config, sync_gpus=8)
+        assert result.bg_throughput == 0.0
+        assert result.fg_qos == pytest.approx(1.0)
+        assert result.fg_slowdown == pytest.approx(1.0)
+
+    def test_collocation_adds_background_at_bounded_fg_cost(self, runner, vgg):
+        config = MultiplexConfig(bg_batch_size=4)
+        result = runner.run_scenario(vgg, 4, vgg, config, sync_gpus=8)
+        assert result.bg_throughput > 0.0
+        assert 0.5 < result.fg_qos <= 1.0
+        assert result.total_throughput > result.fg_throughput
+
+    def test_background_only_throughput_positive(self, runner, vgg):
+        assert runner.background_only_throughput(vgg, MultiplexConfig()) > 0
+
+    def test_mechanism_ablation_shape(self, runner, vgg):
+        results = runner.mechanism_ablation(vgg, 4, vgg, sync_gpus=8)
+        assert [r.label for r in results] == [l for l, _ in figure11_stages()]
+        naive = results[2]
+        final = results[-1]
+        assert naive.fg_qos < final.fg_qos
+        assert final.bg_throughput > 0
+
+    def test_measure_slowdowns_flags_allreduce(self, runner, vgg):
+        monitor = runner.measure_slowdowns(
+            vgg, 4, vgg, MultiplexConfig(bg_batch_size=16), sync_gpus=8
+        )
+        worst = monitor.worst()
+        assert worst is not None
+        assert worst.slowdown > 1.0
+        # The communication operators should be among the most sensitive.
+        sensitive = monitor.sensitive_operators()
+        assert any("allreduce" in name for name in sensitive) or worst.slowdown < 1.5
+
+
+class TestPairwiseCollocation:
+    def test_matrix_covers_all_pairs_and_is_bounded(self):
+        specs = [("short", 1e-5, 1.0), ("long", 2e-3, 1.0)]
+        cells = pairwise_collocation_matrix(specs, sim_time=0.05)
+        assert len(cells) == 4
+        for cell in cells:
+            assert 0.0 <= cell.relative_throughput <= 1.0
+
+    def test_short_hp_suffers_from_long_lp(self):
+        specs = [("short", 1e-5, 1.0), ("long", 2e-3, 1.0)]
+        cells = {
+            (c.high_priority_label, c.low_priority_label): c.relative_throughput
+            for c in pairwise_collocation_matrix(specs, sim_time=0.05)
+        }
+        assert cells[("short", "long")] < cells[("long", "short")]

@@ -1,0 +1,158 @@
+"""Tests for the communication substrate (fabric, collectives, redistribution)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import (
+    NETWORK_PRESETS,
+    CollectiveCostModel,
+    NetworkFabric,
+    RedistributionCostModel,
+    get_fabric,
+)
+
+
+class TestFabric:
+    def test_transfer_time_is_size_over_bandwidth_plus_delay(self):
+        fabric = NetworkFabric("test", bandwidth_bytes_per_s=1e9, propagation_delay=1e-5)
+        assert fabric.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_zero_payload_is_free(self):
+        fabric = get_fabric("nvswitch")
+        assert fabric.transfer_time(0) == 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            get_fabric("nvswitch").transfer_time(-1)
+
+    def test_from_bits_per_s(self):
+        fabric = NetworkFabric.from_bits_per_s("100G", 100e9)
+        assert fabric.bandwidth_bytes_per_s == pytest.approx(12.5e9)
+        assert fabric.bandwidth_bits_per_s == pytest.approx(100e9)
+
+    def test_presets_ordering(self):
+        assert (
+            NETWORK_PRESETS["nvswitch"].bandwidth_bytes_per_s
+            > NETWORK_PRESETS["1tbps"].bandwidth_bytes_per_s
+            > NETWORK_PRESETS["100gbps"].bandwidth_bytes_per_s
+            > NETWORK_PRESETS["10gbps"].bandwidth_bytes_per_s
+        )
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            get_fabric("infiniband9000")
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkFabric("bad", bandwidth_bytes_per_s=0)
+
+
+class TestCollectives:
+    def setup_method(self):
+        self.model = CollectiveCostModel(get_fabric("nvswitch"))
+
+    def test_single_gpu_allreduce_is_free(self):
+        assert self.model.all_reduce_time(1e9, 1) == 0.0
+        assert self.model.gradient_sync_time(10_000_000, 1) == 0.0
+
+    def test_allreduce_grows_with_payload(self):
+        small = self.model.all_reduce_time(1e6, 8)
+        large = self.model.all_reduce_time(1e9, 8)
+        assert large > small > 0
+
+    def test_allreduce_bandwidth_term_saturates_with_gpus(self):
+        """2(g-1)/g payload: going 8 -> 64 GPUs changes the wire bytes little."""
+        t8 = self.model.all_reduce_time(1e9, 8)
+        t64 = self.model.all_reduce_time(1e9, 64)
+        assert t64 > t8
+        assert t64 < 1.5 * t8
+
+    def test_reduce_scatter_is_half_of_allreduce_bandwidth(self):
+        rs = self.model.reduce_scatter_time(1e9, 8)
+        ar = self.model.all_reduce_time(1e9, 8)
+        assert rs < ar
+        assert ar == pytest.approx(2 * rs, rel=0.05)
+
+    def test_allgather_equals_reduce_scatter(self):
+        assert self.model.all_gather_time(1e8, 8) == self.model.reduce_scatter_time(1e8, 8)
+
+    def test_broadcast_uses_log_hops(self):
+        t2 = self.model.broadcast_time(1e8, 2)
+        t16 = self.model.broadcast_time(1e8, 16)
+        assert t16 == pytest.approx(4 * t2, rel=0.05)
+
+    def test_gradient_sync_bucketing_amortizes_latency(self):
+        """Many small layers pay much less latency than many standalone all-reduces."""
+        tiny_layer_params = 1000
+        n_layers = 200
+        bucketed = sum(
+            self.model.gradient_sync_time(tiny_layer_params, 8) for _ in range(n_layers)
+        )
+        unbucketed = n_layers * self.model.all_reduce_time(tiny_layer_params * 2, 8)
+        assert bucketed < unbucketed / 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.model.all_reduce_time(-1, 8)
+        with pytest.raises(ValueError):
+            self.model.all_reduce_time(1e6, 0)
+
+    @given(
+        payload=st.floats(min_value=1.0, max_value=1e10),
+        gpus=st.integers(min_value=2, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_allreduce_positive_and_bounded_below_by_wire_time(self, payload, gpus):
+        t = self.model.all_reduce_time(payload, gpus)
+        wire = 2 * (gpus - 1) / gpus * payload / self.model.fabric.bandwidth_bytes_per_s
+        assert t >= wire
+
+
+class TestRedistribution:
+    def setup_method(self):
+        self.model = RedistributionCostModel(get_fabric("nvswitch"))
+
+    def test_same_width_is_free(self):
+        assert self.model.transition_time(1e9, 8, 8) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert self.model.transition_time(0, 2, 8) == 0.0
+
+    def test_symmetric_in_direction(self):
+        grow = self.model.one_way_time(1e8, 2, 8)
+        shrink = self.model.one_way_time(1e8, 8, 2)
+        assert grow == pytest.approx(shrink)
+
+    def test_transition_includes_forward_and_backward(self):
+        one_way = self.model.one_way_time(1e8, 2, 8)
+        assert self.model.transition_time(1e8, 2, 8) == pytest.approx(2 * one_way)
+
+    def test_forward_only_option(self):
+        fwd_only = RedistributionCostModel(get_fabric("nvswitch"), include_backward=False)
+        assert fwd_only.transition_time(1e8, 2, 8) == pytest.approx(
+            fwd_only.one_way_time(1e8, 2, 8)
+        )
+
+    def test_bigger_width_change_costs_more(self):
+        small_change = self.model.one_way_time(1e9, 8, 4)
+        big_change = self.model.one_way_time(1e9, 8, 1)
+        assert big_change > small_change
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.model.one_way_time(-1, 2, 4)
+        with pytest.raises(ValueError):
+            self.model.one_way_time(1e6, 0, 4)
+
+    @given(
+        payload=st.floats(min_value=1.0, max_value=1e10),
+        src=st.integers(min_value=1, max_value=256),
+        dst=st.integers(min_value=1, max_value=256),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_one_way_time_nonnegative_and_bounded(self, payload, src, dst):
+        t = self.model.one_way_time(payload, src, dst)
+        assert t >= 0.0
+        # Never worse than pushing the whole payload through one GPU's link.
+        fabric = self.model.fabric
+        assert t <= payload / fabric.bandwidth_bytes_per_s + fabric.propagation_delay

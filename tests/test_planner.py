@@ -1,0 +1,175 @@
+"""Tests for the burst-parallel planner on real model graphs."""
+
+import pytest
+
+from repro.core.planner import (
+    BurstParallelPlanner,
+    PlannerConfig,
+    PlannerCostModel,
+    candidate_gpu_counts,
+    build_chain_nodes,
+)
+from repro.models import build_model, inception_v3, resnet50, vgg16
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return BurstParallelPlanner(
+        get_fabric("nvswitch"), LayerProfiler(), PlannerConfig(amplification_limit=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return vgg16()
+
+
+class TestCandidateGpuCounts:
+    def test_powers_of_two(self):
+        assert candidate_gpu_counts(8, 1024) == [1, 2, 4, 8]
+
+    def test_limited_by_global_batch(self):
+        assert candidate_gpu_counts(64, 8) == [1, 2, 4, 8]
+
+    def test_all_integers_grid(self):
+        assert candidate_gpu_counts(5, 100, powers_of_two_only=False) == [1, 2, 3, 4, 5]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            candidate_gpu_counts(0, 8)
+        with pytest.raises(ValueError):
+            candidate_gpu_counts(8, 0)
+
+
+class TestPlannerCostModel:
+    def setup_method(self):
+        self.costs = PlannerCostModel(
+            graph=vgg16(), global_batch=32, fabric=get_fabric("nvswitch")
+        )
+
+    def test_comp_decreases_with_more_gpus_for_big_layers(self):
+        conv_id = next(
+            lid for lid in self.costs.graph.layer_ids()
+            if self.costs.graph.spec(lid).name == "features.conv2"
+        )
+        assert self.costs.comp(conv_id, 8) < self.costs.comp(conv_id, 1)
+
+    def test_sync_zero_on_one_gpu(self):
+        weighted = next(
+            lid for lid in self.costs.graph.layer_ids()
+            if self.costs.graph.spec(lid).has_weights
+        )
+        assert self.costs.sync(weighted, 1) == 0.0
+        assert self.costs.sync(weighted, 8) > 0.0
+
+    def test_comm_zero_for_same_width(self):
+        ids = self.costs.graph.layer_ids()
+        assert self.costs.comm(ids[1], 4, ids[2], 4) == 0.0
+        assert self.costs.comm(ids[1], 1, ids[2], 8) > 0.0
+
+    def test_amplification_definition(self):
+        lid = self.costs.graph.layer_ids()[1]
+        base = self.costs.comp(lid, 1)
+        amp = self.costs.amplification(lid, 4, stage_time=base / 2)
+        assert amp == pytest.approx(2.0)
+
+    def test_amplification_zero_for_free_layers(self):
+        flatten_id = next(
+            lid for lid in self.costs.graph.layer_ids()
+            if self.costs.graph.spec(lid).op == "flatten"
+        )
+        assert self.costs.amplification(flatten_id, 8, 1e-3) == 0.0
+
+
+class TestBurstParallelPlans:
+    def test_plan_covers_every_layer_exactly_once(self, planner, vgg):
+        plan = planner.plan(vgg, 32, 8)
+        planned_ids = [a.layer_id for a in plan.assignments]
+        assert sorted(planned_ids) == vgg.layer_ids()
+
+    def test_widths_are_valid_candidates(self, planner, vgg):
+        plan = planner.plan(vgg, 32, 8)
+        for a in plan.assignments:
+            assert a.num_gpus in (1, 2, 4, 8)
+
+    def test_iteration_time_matches_critical_path(self, planner, vgg):
+        plan = planner.plan(vgg, 32, 8)
+        assert plan.iteration_time == pytest.approx(plan.critical_path_time(), rel=1e-6)
+
+    def test_burst_plan_uses_fewer_gpu_seconds_than_dp(self, planner, vgg):
+        bp = planner.plan(vgg, 32, 8)
+        dp = planner.data_parallel_plan(vgg, 32, 8)
+        assert bp.total_gpu_seconds() < dp.total_gpu_seconds()
+
+    def test_plan_has_heterogeneous_widths_for_vgg(self, planner, vgg):
+        plan = planner.plan(vgg, 32, 8)
+        assert len({a.num_gpus for a in plan.assignments}) > 1
+
+    def test_looser_amp_limit_never_slows_the_plan(self, planner, vgg):
+        tight = planner.plan(vgg, 32, 8, amplification_limit=1.25)
+        loose = planner.plan(vgg, 32, 8, amplification_limit=8.0)
+        assert loose.iteration_time <= tight.iteration_time * 1.001
+
+    def test_single_gpu_plan(self, planner, vgg):
+        plan = planner.single_gpu_plan(vgg, 32)
+        assert plan.max_gpus_used() == 1
+        assert plan.is_pure_data_parallel()
+        assert plan.iteration_time > 0
+
+    def test_data_parallel_plan_width_capped_by_batch(self, planner, vgg):
+        plan = planner.data_parallel_plan(vgg, 4, 8)
+        assert plan.max_gpus_used() == 4
+
+    def test_invalid_amp_limit_rejected(self, planner, vgg):
+        with pytest.raises(ValueError):
+            planner.plan(vgg, 32, 8, amplification_limit=0.5)
+
+    def test_search_time_recorded(self, planner, vgg):
+        plan = planner.plan(vgg, 32, 8)
+        assert plan.search_time > 0
+        assert plan.search_time < 10
+
+    def test_plan_json_round_trip_preserves_assignments(self, planner, vgg):
+        from repro.core.planner import TrainingPlan
+
+        plan = planner.plan(vgg, 32, 8)
+        restored = TrainingPlan.from_json(plan.to_json())
+        assert restored.gpu_assignment_map() == plan.gpu_assignment_map()
+
+
+class TestGraphReductionPlans:
+    """Branching models exercise the multi-chain graph reduction."""
+
+    @pytest.mark.parametrize("builder,batch", [(resnet50, 64), (inception_v3, 32)])
+    def test_branching_plan_covers_every_layer(self, planner, builder, batch):
+        graph = builder()
+        plan = planner.plan(graph, batch, 8)
+        planned_ids = sorted(a.layer_id for a in plan.assignments)
+        assert planned_ids == graph.layer_ids()
+        assert plan.iteration_time > 0
+
+    def test_inception_marks_some_branches_parallel(self, planner):
+        graph = inception_v3()
+        plan = planner.plan(graph, 32, 8, amplification_limit=2.0)
+        assert any(a.parallel_branch for a in plan.assignments)
+
+    def test_build_chain_nodes_reduces_branching_graph(self):
+        graph = resnet50()
+        costs = PlannerCostModel(
+            graph=graph, global_batch=64, fabric=get_fabric("nvswitch")
+        )
+        nodes = build_chain_nodes(graph, costs, [1, 2, 4, 8], 8, 2.0)
+        # Reduced chain is much shorter than the raw layer count but still
+        # covers the graph through its block nodes.
+        assert len(nodes) < len(graph)
+        assert len(nodes) > 10
+
+    def test_chain_model_has_one_node_per_layer(self):
+        graph = vgg16()
+        costs = PlannerCostModel(
+            graph=graph, global_batch=32, fabric=get_fabric("nvswitch")
+        )
+        nodes = build_chain_nodes(graph, costs, [1, 2, 4, 8], 8, 2.0)
+        assert len(nodes) == len(graph)

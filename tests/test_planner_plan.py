@@ -1,0 +1,101 @@
+"""Tests for the training-plan data structures (JSON round-trip, aggregates)."""
+
+import json
+
+import pytest
+
+from repro.core.planner import LayerAssignment, TrainingPlan
+
+
+def make_plan():
+    assignments = [
+        LayerAssignment(0, "input", "input", 1, 0.0),
+        LayerAssignment(1, "conv1", "conv2d", 8, 1e-3, sync_time=1e-4, comm_time=5e-5),
+        LayerAssignment(2, "branch", "conv2d", 2, 2e-3, parallel_branch=True),
+        LayerAssignment(3, "fc", "dense", 2, 5e-4, sync_time=2e-4),
+    ]
+    critical = sum(a.stage_time for a in assignments if not a.parallel_branch)
+    return TrainingPlan(
+        model_name="toy",
+        global_batch=32,
+        total_gpus=8,
+        amplification_limit=2.0,
+        assignments=assignments,
+        iteration_time=critical,
+        search_time=0.01,
+    )
+
+
+class TestLayerAssignment:
+    def test_stage_time_and_gpu_seconds(self):
+        a = LayerAssignment(1, "conv", "conv2d", 4, 1e-3, sync_time=1e-4, comm_time=1e-4)
+        assert a.stage_time == pytest.approx(1.2e-3)
+        assert a.gpu_seconds == pytest.approx(4.8e-3)
+
+
+class TestTrainingPlan:
+    def test_assignment_lookup(self):
+        plan = make_plan()
+        assert plan.assignment_for(1).layer_name == "conv1"
+        with pytest.raises(KeyError):
+            plan.assignment_for(99)
+
+    def test_gpu_assignment_map_and_max(self):
+        plan = make_plan()
+        assert plan.gpu_assignment_map() == {0: 1, 1: 8, 2: 2, 3: 2}
+        assert plan.max_gpus_used() == 8
+
+    def test_gpu_seconds_and_average_busy(self):
+        plan = make_plan()
+        expected = sum(a.gpu_seconds for a in plan.assignments)
+        assert plan.total_gpu_seconds() == pytest.approx(expected)
+        assert plan.average_gpus_busy() == pytest.approx(expected / plan.iteration_time)
+
+    def test_idle_fraction_between_zero_and_one(self):
+        plan = make_plan()
+        assert 0.0 <= plan.idle_gpu_fraction() < 1.0
+
+    def test_critical_path_excludes_parallel_branches(self):
+        plan = make_plan()
+        assert plan.critical_path_time() < sum(a.stage_time for a in plan.assignments)
+        assert plan.critical_path_time() == pytest.approx(plan.iteration_time)
+
+    def test_amplification_relative_to_single_gpu(self):
+        plan = make_plan()
+        single_gpu_time = 10e-3
+        assert plan.amplification(single_gpu_time) == pytest.approx(
+            plan.total_gpu_seconds() / single_gpu_time
+        )
+        with pytest.raises(ValueError):
+            plan.amplification(0.0)
+
+    def test_is_pure_data_parallel(self):
+        plan = make_plan()
+        assert not plan.is_pure_data_parallel()
+        dp = TrainingPlan(
+            "toy", 32, 8, float("inf"),
+            [LayerAssignment(0, "a", "conv2d", 8, 1e-3),
+             LayerAssignment(1, "b", "conv2d", 8, 1e-3)],
+            iteration_time=2e-3,
+        )
+        assert dp.is_pure_data_parallel()
+
+    def test_json_round_trip(self):
+        plan = make_plan()
+        payload = plan.to_json()
+        parsed = json.loads(payload)
+        assert parsed["model_name"] == "toy"
+        restored = TrainingPlan.from_json(payload)
+        assert restored.model_name == plan.model_name
+        assert restored.global_batch == plan.global_batch
+        assert restored.iteration_time == pytest.approx(plan.iteration_time)
+        assert len(restored.assignments) == len(plan.assignments)
+        assert restored.assignment_for(2).parallel_branch is True
+        assert restored.gpu_assignment_map() == plan.gpu_assignment_map()
+
+    def test_summary_mentions_model_and_widths(self):
+        plan = make_plan()
+        text = plan.summary()
+        assert "toy" in text
+        assert "8 GPU" in text
+        assert "ms" in text

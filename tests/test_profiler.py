@@ -1,0 +1,209 @@
+"""Tests for the GPU cost-model substrate (specs, kernel model, layer profiler)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import vgg16
+from repro.models.graph import LayerSpec
+from repro.profiler import (
+    A100_40GB,
+    A100_80GB,
+    V100_32GB,
+    GPUSpec,
+    KernelCostModel,
+    KernelWorkload,
+    LayerProfiler,
+    get_gpu_spec,
+    per_gpu_batch,
+)
+
+
+def conv_spec(flops=1e9, params=1_000_000, elems=100_000):
+    return LayerSpec(
+        name="conv",
+        op="conv2d",
+        flops_per_sample=flops,
+        params=params,
+        input_elems_per_sample=elems,
+        output_elems_per_sample=elems,
+    )
+
+
+class TestGPUSpec:
+    def test_presets_are_valid(self):
+        for spec in (A100_40GB, A100_80GB, V100_32GB):
+            assert spec.peak_flops > 0
+            assert spec.wave_size == spec.num_sms * spec.blocks_per_sm
+            assert spec.ridge_intensity > 10  # modern GPUs are compute-rich
+
+    def test_lookup_by_name(self):
+        assert get_gpu_spec("a100") is A100_40GB
+        assert get_gpu_spec("V100") is V100_32GB
+        with pytest.raises(KeyError):
+            get_gpu_spec("h100")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", -1, 1e12, 108, 4, 1e-6, 1e-7, 1e-6, 40e9)
+
+    def test_scaled_override(self):
+        doubled = A100_40GB.scaled(memory_bandwidth=A100_40GB.memory_bandwidth * 2)
+        assert doubled.memory_bandwidth == 2 * A100_40GB.memory_bandwidth
+        assert doubled.peak_flops == A100_40GB.peak_flops
+
+
+class TestKernelCostModel:
+    def setup_method(self):
+        self.model = KernelCostModel(A100_40GB)
+
+    def test_more_flops_takes_longer(self):
+        small = KernelWorkload(flops=1e9, bytes_moved=1e6, parallel_elems=1e7)
+        large = KernelWorkload(flops=4e9, bytes_moved=1e6, parallel_elems=1e7)
+        assert self.model.kernel_time(large) > self.model.kernel_time(small)
+
+    def test_fixed_overhead_floors_tiny_kernels(self):
+        tiny = KernelWorkload(flops=1.0, bytes_moved=8.0, parallel_elems=1.0)
+        assert self.model.kernel_time(tiny) >= A100_40GB.kernel_fixed_overhead
+
+    def test_occupancy_bounds(self):
+        tiny = KernelWorkload(flops=1e3, bytes_moved=1e3, parallel_elems=10)
+        huge = KernelWorkload(flops=1e12, bytes_moved=1e9, parallel_elems=1e9)
+        assert 0 < self.model.compute_occupancy(tiny) < 0.01
+        assert 0.5 < self.model.compute_occupancy(huge) <= 1.0
+
+    def test_memory_efficiency_saturates(self):
+        streaming = KernelWorkload(flops=0, bytes_moved=100e6, parallel_elems=10)
+        assert self.model.memory_efficiency(streaming) == 1.0
+
+    def test_low_occupancy_slows_compute_bound_kernel(self):
+        # Same work, but one kernel exposes far less parallelism.
+        wide = KernelWorkload(flops=1e10, bytes_moved=1e6, parallel_elems=1e8)
+        narrow = KernelWorkload(flops=1e10, bytes_moved=1e6, parallel_elems=1e4)
+        assert self.model.kernel_time(narrow) > 2 * self.model.kernel_time(wide)
+
+    def test_multi_kernel_adds_fixed_overheads(self):
+        wl = KernelWorkload(flops=1e10, bytes_moved=1e8, parallel_elems=1e8)
+        one = self.model.kernel_time(wl, num_kernels=1)
+        three = self.model.kernel_time(wl, num_kernels=3)
+        assert three >= one + 2 * A100_40GB.kernel_fixed_overhead * 0.99
+
+    def test_achieved_utilization_in_unit_interval(self):
+        wl = KernelWorkload(flops=1e9, bytes_moved=1e7, parallel_elems=1e6)
+        assert 0.0 < self.model.achieved_utilization(wl) <= 1.0
+
+    def test_launch_overhead_graphs_cheaper(self):
+        assert self.model.launch_overhead(True) < self.model.launch_overhead(False)
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            KernelWorkload(flops=-1, bytes_moved=0, parallel_elems=0)
+
+    @given(
+        flops=st.floats(min_value=0, max_value=1e13),
+        bytes_moved=st.floats(min_value=0, max_value=1e10),
+        elems=st.floats(min_value=1, max_value=1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kernel_time_positive_and_above_ideal(self, flops, bytes_moved, elems):
+        wl = KernelWorkload(flops=flops, bytes_moved=bytes_moved, parallel_elems=elems)
+        t = self.model.kernel_time(wl)
+        assert t > 0
+        assert t >= self.model.ideal_time(wl)
+
+
+class TestPerGPUBatch:
+    def test_even_split(self):
+        assert per_gpu_batch(32, 8) == 4
+
+    def test_uneven_split_rounds_up(self):
+        assert per_gpu_batch(30, 8) == 4
+
+    def test_single_gpu(self):
+        assert per_gpu_batch(32, 1) == 32
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            per_gpu_batch(0, 8)
+        with pytest.raises(ValueError):
+            per_gpu_batch(8, 0)
+
+
+class TestLayerProfiler:
+    def setup_method(self):
+        self.profiler = LayerProfiler()
+
+    def test_layer_time_increases_with_batch(self):
+        spec = conv_spec()
+        t_small = self.profiler.layer_timing(spec, 1).total_time
+        t_large = self.profiler.layer_timing(spec, 256).total_time
+        assert t_large > t_small
+
+    def test_sublinear_scaling_at_small_batches(self):
+        """Halving an already-small batch does not halve the time (Figure 5)."""
+        spec = conv_spec(flops=1e8, elems=1e4)
+        t4 = self.profiler.layer_timing(spec, 4).total_time
+        t2 = self.profiler.layer_timing(spec, 2).total_time
+        assert t2 > t4 / 2
+
+    def test_zero_kernel_layers_are_free(self):
+        spec = LayerSpec(
+            name="flatten", op="flatten", flops_per_sample=0, params=0,
+            input_elems_per_sample=10, output_elems_per_sample=10,
+            bwd_flops_multiplier=0.0,
+        )
+        timing = self.profiler.layer_timing(spec, 32)
+        assert timing.total_time == 0.0
+        assert timing.num_kernels == 0
+
+    def test_comp_uses_ceiling_per_gpu_batch(self):
+        spec = conv_spec()
+        assert self.profiler.comp(spec, 32, 8) == pytest.approx(
+            self.profiler.layer_timing(spec, 4).total_time
+        )
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            self.profiler.layer_timing(conv_spec(), 0)
+
+    def test_forward_occupancy_bounds(self):
+        occ = self.profiler.forward_occupancy(conv_spec(elems=10), 1)
+        assert 0 < occ <= 1.0
+        occ_big = self.profiler.forward_occupancy(conv_spec(elems=10_000_000), 64)
+        assert occ_big > 0.9
+
+    def test_profile_model_contains_all_layers_and_batches(self):
+        graph = vgg16()
+        profile = self.profiler.profile_model(graph, [2, 8])
+        assert profile.batches == [2, 8]
+        for lid in graph.layer_ids():
+            assert profile.layer_time(lid, 2) >= 0
+        assert profile.iteration_time(8) > profile.iteration_time(2) > 0
+
+    def test_profile_unknown_batch_raises(self):
+        graph = vgg16()
+        profile = self.profiler.profile_model(graph, [2])
+        with pytest.raises(KeyError):
+            profile.layer_time(graph.layer_ids()[0], 16)
+
+    def test_iteration_compute_time_monotone_in_batch(self):
+        graph = vgg16()
+        t8 = self.profiler.iteration_compute_time(graph, 8)
+        t64 = self.profiler.iteration_compute_time(graph, 64)
+        assert t64 > t8
+
+    def test_memory_footprint_grows_with_batch(self):
+        graph = vgg16()
+        m1 = self.profiler.memory_footprint(graph, 1)
+        m64 = self.profiler.memory_footprint(graph, 64)
+        assert m64 > m1
+        # Parameters + optimizer state alone exceed 1 GB for VGG-16.
+        assert m1 > 1e9
+
+    def test_cuda_graphs_reduce_host_launch_time(self):
+        eager = LayerProfiler(use_cuda_graphs=False)
+        graphs = LayerProfiler(use_cuda_graphs=True)
+        spec = conv_spec()
+        assert (
+            graphs.layer_timing(spec, 4).host_launch_time
+            < eager.layer_timing(spec, 4).host_launch_time
+        )

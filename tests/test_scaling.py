@@ -1,0 +1,166 @@
+"""Tests for the scaling-strategy analysis (Section 2 substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import vgg11
+from repro.network import get_fabric
+from repro.profiler import LayerProfiler
+from repro.scaling import (
+    BatchOptimalScaling,
+    IterationTimeModel,
+    SampleEfficiencyModel,
+    ScalingAnalysis,
+    StrongScaling,
+    TimeToAccuracyModel,
+    VGG11_ERROR_035,
+    WeakScaling,
+    default_batch_candidates,
+)
+
+
+class TestSampleEfficiency:
+    def setup_method(self):
+        self.model = SampleEfficiencyModel(steps_min=1000, critical_batch=512)
+
+    def test_steps_decrease_with_batch_size(self):
+        assert self.model.steps_to_accuracy(64) > self.model.steps_to_accuracy(128)
+
+    def test_steps_never_below_minimum(self):
+        assert self.model.steps_to_accuracy(1e9) >= self.model.steps_min
+
+    def test_near_perfect_scaling_below_critical_batch(self):
+        s1 = self.model.steps_to_accuracy(8)
+        s2 = self.model.steps_to_accuracy(16)
+        assert s1 / s2 == pytest.approx(2.0, rel=0.05)
+
+    def test_diminishing_returns_above_critical_batch(self):
+        s1 = self.model.steps_to_accuracy(8 * self.model.critical_batch)
+        s2 = self.model.steps_to_accuracy(16 * self.model.critical_batch)
+        assert s1 / s2 < 1.1
+
+    def test_total_samples_grow_beyond_critical_batch(self):
+        small = self.model.samples_to_accuracy(self.model.critical_batch)
+        large = self.model.samples_to_accuracy(8 * self.model.critical_batch)
+        assert large > 2 * small
+
+    def test_relative_sample_efficiency_below_one_for_larger_batches(self):
+        eff = self.model.relative_sample_efficiency(4096, 256)
+        assert eff < 1.0
+
+    def test_useful_speedup_limit(self):
+        limit = self.model.useful_speedup_limit(256)
+        assert limit == pytest.approx(self.model.steps_to_accuracy(256) / 1000)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SampleEfficiencyModel(steps_min=0, critical_batch=512)
+        with pytest.raises(ValueError):
+            self.model.steps_to_accuracy(0)
+
+    @given(batch=st.floats(min_value=1, max_value=1e7))
+    @settings(max_examples=50, deadline=None)
+    def test_steps_monotone_nonincreasing(self, batch):
+        assert self.model.steps_to_accuracy(batch) >= self.model.steps_to_accuracy(
+            batch * 2
+        )
+
+
+class TestIterationTimeModel:
+    def setup_method(self):
+        self.model = IterationTimeModel(vgg11(), get_fabric("nvswitch"), LayerProfiler())
+
+    def test_iteration_has_compute_and_sync(self):
+        it = self.model.iteration(256, 8)
+        assert it.compute_time > 0
+        assert it.sync_time > 0
+        assert it.total_time == pytest.approx(it.compute_time + it.sync_time)
+        assert it.per_gpu_batch == 32
+
+    def test_single_gpu_has_no_sync(self):
+        assert self.model.iteration(256, 1).sync_time == 0.0
+
+    def test_more_gpus_reduce_compute_time(self):
+        assert (
+            self.model.iteration(256, 32).compute_time
+            < self.model.iteration(256, 2).compute_time
+        )
+
+    def test_gpus_capped_at_global_batch(self):
+        it = self.model.iteration(16, 64)
+        assert it.num_gpus == 16
+        assert it.per_gpu_batch == 1
+
+
+class TestTimeToAccuracy:
+    def setup_method(self):
+        self.tta = TimeToAccuracyModel(
+            vgg11(), get_fabric("nvswitch"), VGG11_ERROR_035, LayerProfiler()
+        )
+
+    def test_more_gpus_reduce_tta_at_fixed_batch(self):
+        assert self.tta.time_to_accuracy(256, 16) < self.tta.time_to_accuracy(256, 1)
+
+    def test_speedup_of_reference_config_is_one(self):
+        assert self.tta.speedup(256, 1, reference_batch=256) == pytest.approx(1.0)
+
+    def test_throughput_positive(self):
+        assert self.tta.training_throughput(256, 8) > 0
+
+
+class TestStrategies:
+    def setup_method(self):
+        self.analysis = ScalingAnalysis(
+            vgg11(),
+            get_fabric("1tbps"),
+            VGG11_ERROR_035,
+            gpu_counts=(1, 4, 16, 64, 256),
+            reference_batch=256,
+        )
+
+    def test_weak_scaling_batch_grows_with_cluster(self):
+        strategy = WeakScaling(per_gpu_batch_size=256)
+        assert strategy.global_batch(64, self.analysis) == 256 * 64
+
+    def test_strong_scaling_batch_is_constant(self):
+        strategy = StrongScaling(global_batch_size=256)
+        assert strategy.global_batch(64, self.analysis) == 256
+
+    def test_default_batch_candidates_are_powers_of_two_multiples(self):
+        candidates = default_batch_candidates(256, 256)
+        assert candidates[0] == 256
+        assert all(b % 256 == 0 for b in candidates)
+        assert all(b2 == 2 * b1 for b1, b2 in zip(candidates, candidates[1:]))
+
+    def test_speedup_at_one_gpu_is_one(self):
+        curves = self.analysis.speedup_curves([WeakScaling(256), StrongScaling(256)])
+        assert curves["weak"][0].speedup == pytest.approx(1.0)
+        assert curves["strong"][0].speedup == pytest.approx(1.0)
+
+    def test_batch_optimal_dominates_fixed_strategies(self):
+        curves = self.analysis.speedup_curves(
+            [WeakScaling(256), StrongScaling(256), BatchOptimalScaling()]
+        )
+        for weak, strong, opt in zip(
+            curves["weak"], curves["strong"], curves["batch-optimal"]
+        ):
+            assert opt.speedup >= max(weak.speedup, strong.speedup) - 1e-9
+
+    def test_weak_scaling_saturates(self):
+        curves = self.analysis.speedup_curves([WeakScaling(256)])
+        speedups = [p.speedup for p in curves["weak"]]
+        assert speedups[-1] < 0.15 * 256  # nowhere near linear at 256 GPUs
+
+    def test_batch_optimal_per_gpu_batch_decreases_with_scale(self):
+        batches = self.analysis.batch_optimal_per_gpu_batches()
+        ordered = [batches[g] for g in sorted(batches)]
+        assert all(b2 <= b1 for b1, b2 in zip(ordered, ordered[1:]))
+        assert ordered[-1] < ordered[0]
+
+    def test_evaluate_point_structure(self):
+        point = self.analysis.evaluate_point(8, 256)
+        assert point.per_gpu_batch == 32
+        assert point.time_to_accuracy > 0
+        assert point.steps_to_accuracy == pytest.approx(
+            VGG11_ERROR_035.steps_to_accuracy(256)
+        )

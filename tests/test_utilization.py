@@ -1,0 +1,54 @@
+"""Tests for the device-utilization analysis (Figure 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.models import resnet50, vgg16
+from repro.profiler import LayerProfiler, mean_utilization, utilization_cdf
+
+
+class TestUtilizationCDF:
+    def setup_method(self):
+        self.graph = resnet50()
+
+    def test_cdf_is_monotone_and_bounded(self):
+        cdf = utilization_cdf(self.graph, 16)
+        assert np.all(np.diff(cdf.cumulative) >= -1e-12)
+        assert cdf.cumulative[-1] == pytest.approx(1.0)
+        assert np.all(cdf.utilization >= 0.0)
+        assert np.all(cdf.utilization <= 1.0)
+        assert np.all(np.diff(cdf.utilization) >= -1e-12)
+
+    def test_mean_within_bounds(self):
+        cdf = utilization_cdf(self.graph, 16)
+        assert 0.0 < cdf.mean() <= 1.0
+
+    def test_fraction_below_extremes(self):
+        cdf = utilization_cdf(self.graph, 16)
+        assert cdf.fraction_below(0.0) == 0.0
+        assert cdf.fraction_below(1.01) == pytest.approx(1.0)
+
+    def test_fraction_below_is_monotone(self):
+        cdf = utilization_cdf(self.graph, 4)
+        values = [cdf.fraction_below(x) for x in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_utilization_improves_with_batch_size(self):
+        """The core Figure 4 observation."""
+        means = mean_utilization(self.graph, [1, 16, 256])
+        assert means[1] < means[16] < means[256]
+        assert means[1] < 0.2
+        assert means[256] > 0.8
+
+    def test_small_batch_spends_most_time_at_low_utilization(self):
+        cdf = utilization_cdf(self.graph, 1)
+        assert cdf.fraction_below(0.5) > 0.5
+
+    def test_works_for_other_models(self):
+        cdf = utilization_cdf(vgg16(), 8)
+        assert 0.0 < cdf.mean() <= 1.0
+
+    def test_reuses_provided_profiler(self):
+        profiler = LayerProfiler()
+        cdf = utilization_cdf(self.graph, 8, profiler=profiler)
+        assert cdf.batch == 8

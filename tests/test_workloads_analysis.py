@@ -1,0 +1,104 @@
+"""Tests for the workload definitions, analysis entry points, and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    figure2_batch_optimal_per_gpu_batch,
+    figure5_layer_scalability,
+    figure9_cluster_throughput,
+    figure11_mechanism_ablation,
+    format_bars,
+    format_matrix,
+    format_table,
+    table1_workload_characteristics,
+    table3_planner_search_time,
+)
+from repro.workloads import (
+    SyntheticKernelSpec,
+    default_kernel_grid,
+    table1_characteristics,
+)
+
+
+class TestSyntheticWorkloads:
+    def test_default_grid_covers_durations_and_intensities(self):
+        grid = default_kernel_grid()
+        assert len(grid) == 12
+        labels = {spec.label for spec in grid}
+        assert "10us/low" in labels and "10ms/high" in labels
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticKernelSpec("bad", duration=0.0, occupancy=0.5)
+        with pytest.raises(ValueError):
+            SyntheticKernelSpec("bad", duration=1e-3, occupancy=1.5)
+
+    def test_as_tuple(self):
+        spec = SyntheticKernelSpec("x", 1e-3, 0.5)
+        assert spec.as_tuple() == ("x", 1e-3, 0.5)
+
+
+class TestTable1:
+    def test_characteristics_match_registry(self):
+        rows = table1_characteristics()
+        assert [r.model for r in rows] == ["vgg16", "wide_resnet101_2", "inception_v3"]
+        by_model = {r.model: r for r in rows}
+        assert by_model["vgg16"].params_millions > 100
+        assert by_model["inception_v3"].params_millions < 30
+        assert by_model["wide_resnet101_2"].input_size == "3 x 400 x 400"
+
+    def test_analysis_wrapper_is_equivalent(self):
+        assert [r.model for r in table1_workload_characteristics()] == [
+            r.model for r in table1_characteristics()
+        ]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4.25)], precision=1, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "30" in text and "4.2" in text
+
+    def test_format_matrix(self):
+        text = format_matrix(["r1"], ["c1", "c2"], {("r1", "c1"): 0.5, ("r1", "c2"): 1.0})
+        assert "r1" in text and "c1" in text and "0.50" in text
+
+    def test_format_bars(self):
+        text = format_bars(["x", "yy"], [10.0, 20.0], width=10)
+        assert "#" in text
+        assert text.count("\n") == 1
+        with pytest.raises(ValueError):
+            format_bars(["x"], [1.0, 2.0])
+
+
+class TestExperimentEntryPoints:
+    """Smoke tests with reduced parameters (full runs live in benchmarks/)."""
+
+    def test_figure2_smoke(self):
+        result = figure2_batch_optimal_per_gpu_batch(gpu_counts=(1, 8, 64))
+        assert set(result) == {1, 8, 64}
+
+    def test_figure5_smoke(self):
+        rows = figure5_layer_scalability()
+        assert len(rows) == 21  # 13 conv + 5 pool + 3 fc
+        assert all(speedup > 0 for _, speedup in rows)
+
+    def test_figure9_uncalibrated_smoke(self):
+        results = figure9_cluster_throughput(
+            models=["vgg16"], calibrate=False, amplification_limit=2.0
+        )
+        assert len(results) == 1
+        labels = [s.label for s in results[0].scenarios]
+        assert labels == ["DP", "BP", "BP + Col", "BG Only"]
+        assert results[0].throughput_gain > 1.0
+
+    def test_figure11_smoke(self):
+        results = figure11_mechanism_ablation(sim_time=0.03)
+        assert len(results) == 7
+        assert results[0].bg_throughput == 0.0
+
+    def test_table3_smoke(self):
+        times = table3_planner_search_time(models=["vgg16"], gpu_counts=(8,))
+        assert times["vgg16"][8] < 5.0
