@@ -15,6 +15,8 @@ organised as:
   (Section 5);
 * ``repro.gpu`` — discrete-event GPU device simulator;
 * ``repro.cluster`` — cluster coordinator, runtimes, executor, and baselines;
+* ``repro.sched`` — trace-driven multi-tenant cluster scheduler (event loop,
+  scheduling policies, trace generators, fleet metrics);
 * ``repro.workloads`` / ``repro.analysis`` — experiment definitions and the
   per-figure entry points used by the benchmark harnesses.
 """
@@ -23,6 +25,7 @@ from .core.planner import BurstParallelPlanner, PlannerConfig, TrainingPlan
 from .models import build_model, available_models
 from .network import get_fabric
 from .profiler import LayerProfiler
+from .sched import ClusterScheduler
 
 __version__ = "0.1.0"
 
@@ -31,6 +34,7 @@ __all__ = [
     "PlannerConfig",
     "TrainingPlan",
     "LayerProfiler",
+    "ClusterScheduler",
     "build_model",
     "available_models",
     "get_fabric",

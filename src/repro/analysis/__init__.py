@@ -10,6 +10,8 @@ from .experiments import (
     figure10_tradeoff,
     figure11_mechanism_ablation,
     figure12_collocation_matrix,
+    figure13_policy_comparison,
+    render_policy_comparison,
     render_scenarios,
     render_tradeoff,
     table1_workload_characteristics,
@@ -29,9 +31,11 @@ __all__ = [
     "figure10_tradeoff",
     "figure11_mechanism_ablation",
     "figure12_collocation_matrix",
+    "figure13_policy_comparison",
     "table3_planner_search_time",
     "render_scenarios",
     "render_tradeoff",
+    "render_policy_comparison",
     "Figure9Result",
     "format_table",
     "format_matrix",

@@ -29,6 +29,7 @@ from ..models.registry import TABLE1_MODELS, build_model, model_entry
 from ..network.fabric import NetworkFabric, get_fabric
 from ..profiler.layer_profiler import LayerProfiler, per_gpu_batch
 from ..profiler.utilization import utilization_cdf
+from ..sched import ClusterScheduler, ScheduleResult, alibaba_trace, synthetic_trace
 from ..scaling.sample_efficiency import VGG11_ERROR_035
 from ..scaling.strategies import (
     BatchOptimalScaling,
@@ -51,9 +52,11 @@ __all__ = [
     "figure10_tradeoff",
     "figure11_mechanism_ablation",
     "figure12_collocation_matrix",
+    "figure13_policy_comparison",
     "table3_planner_search_time",
     "render_scenarios",
     "render_tradeoff",
+    "render_policy_comparison",
 ]
 
 DEFAULT_GPU_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -382,6 +385,38 @@ def figure12_collocation_matrix(
     }
 
 
+def figure13_policy_comparison(
+    num_gpus: int = 32,
+    num_jobs: int = 24,
+    seed: int = 7,
+    policies: Sequence[str] = ("fifo", "srgs", "collocation"),
+    trace_kind: str = "synthetic",
+    fabric_name: str = "nvswitch",
+) -> Dict[str, ScheduleResult]:
+    """"Figure 13": multi-tenant scheduling-policy comparison.
+
+    Goes beyond the paper's single-job evaluation: a trace of foreground and
+    background jobs arrives over time and is served by the trace-driven
+    cluster scheduler (:mod:`repro.sched`) under each policy.  All policies
+    share one scheduler instance, so every burst-parallel plan search is
+    paid once; results are deterministic under a fixed ``seed``.
+
+    ``trace_kind`` selects the workload: ``"synthetic"`` (Poisson arrivals
+    over the model zoo) or ``"alibaba"`` (heavy-tailed, mostly-small jobs
+    with a diurnal arrival wave).
+    """
+    if trace_kind == "synthetic":
+        trace = synthetic_trace(num_jobs, seed=seed)
+    elif trace_kind == "alibaba":
+        trace = alibaba_trace(num_jobs, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown trace_kind {trace_kind!r}; expected 'synthetic' or 'alibaba'"
+        )
+    scheduler = ClusterScheduler(num_gpus, fabric=fabric_name)
+    return {policy: scheduler.run(trace, policy) for policy in policies}
+
+
 def table3_planner_search_time(
     models: Sequence[str] = tuple(TABLE1_MODELS),
     gpu_counts: Sequence[int] = (8, 1024),
@@ -429,6 +464,42 @@ def render_scenarios(results: Sequence[Figure9Result]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+def render_policy_comparison(results: Dict[str, ScheduleResult]) -> str:
+    """Figure 13 as a text table (one row of fleet metrics per policy)."""
+    rows = []
+    for policy, result in results.items():
+        m = result.metrics
+        rows.append(
+            (
+                policy,
+                m.mean_jct,
+                m.p95_jct,
+                m.makespan,
+                m.utilization * 100.0,
+                m.fg_goodput,
+                m.bg_goodput,
+                m.preemptions,
+                m.replans,
+            )
+        )
+    return format_table(
+        [
+            "policy",
+            "mean JCT (s)",
+            "p95 JCT (s)",
+            "makespan (s)",
+            "util (%)",
+            "FG samples/s",
+            "BG samples/s",
+            "preempt",
+            "replans",
+        ],
+        rows,
+        precision=2,
+        title="Figure 13: scheduling policies on a multi-tenant trace",
+    )
 
 
 def render_tradeoff(points: Dict[str, List[TradeoffPoint]]) -> str:

@@ -76,12 +76,16 @@ class CollocationProfile:
         bg_graph: ModelGraph,
         config: Optional[MultiplexConfig] = None,
         sync_gpus: int = 8,
+        bg_idle_efficiency: float = 0.95,
     ) -> "CollocationProfile":
         """Derive the profile from the detailed single-GPU simulator.
 
         The foreground job is run at its per-GPU batch size with and without
         the background job; the resulting slowdown and background throughput
         (relative to the background running alone) become the profile.
+        ``bg_idle_efficiency`` — the background's throughput fraction on a
+        foreground-idle GPU — is not measurable from the busy-GPU scenario,
+        so it is taken as a parameter.
         """
         cfg = config if config is not None else MultiplexConfig()
         result = runner.run_scenario(
@@ -93,7 +97,7 @@ class CollocationProfile:
         return cls(
             fg_slowdown=max(1.0, result.fg_slowdown),
             bg_busy_efficiency=busy_eff,
-            bg_idle_efficiency=0.95,
+            bg_idle_efficiency=bg_idle_efficiency,
         )
 
 

@@ -1,0 +1,52 @@
+"""Trace-driven multi-tenant cluster scheduler (the DeepPool cluster manager).
+
+Public API:
+
+* :class:`~repro.sched.scheduler.ClusterScheduler` /
+  :class:`~repro.sched.scheduler.ScheduleResult` — the discrete-event
+  scheduler and one run's outcome.
+* :mod:`~repro.sched.policies` — :class:`FIFOPolicy`,
+  :class:`ShortestRemainingGPUSecondsPolicy`, and the DeepPool-style
+  :class:`CollocationAwarePolicy` (registry: :data:`POLICIES` /
+  :func:`get_policy`).
+* :mod:`~repro.sched.traces` — :class:`TraceJob` plus the
+  :func:`synthetic_trace` and :func:`alibaba_trace` generators.
+* :mod:`~repro.sched.metrics` — :class:`JobRecord` and
+  :class:`FleetMetrics` (JCT distribution, makespan, utilization, goodput).
+* :mod:`~repro.sched.events` — the :class:`EventQueue` primitives.
+"""
+
+from .events import Event, EventKind, EventQueue
+from .metrics import FleetMetrics, JobRecord, percentile
+from .policies import (
+    POLICIES,
+    CollocationAwarePolicy,
+    FIFOPolicy,
+    SchedulingPolicy,
+    ShortestRemainingGPUSecondsPolicy,
+    floor_pow2,
+    get_policy,
+)
+from .scheduler import ClusterScheduler, ScheduleResult
+from .traces import TraceJob, alibaba_trace, synthetic_trace
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FleetMetrics",
+    "JobRecord",
+    "percentile",
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "ShortestRemainingGPUSecondsPolicy",
+    "CollocationAwarePolicy",
+    "POLICIES",
+    "get_policy",
+    "floor_pow2",
+    "ClusterScheduler",
+    "ScheduleResult",
+    "TraceJob",
+    "synthetic_trace",
+    "alibaba_trace",
+]

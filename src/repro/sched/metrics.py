@@ -1,0 +1,150 @@
+"""Fleet-level metrics for trace-driven scheduler runs.
+
+The scheduler reduces a whole simulation to one :class:`JobRecord` per
+completed job and one :class:`FleetMetrics` summary per run:
+
+* job-completion-time (JCT) distribution — mean / median / p95 / max;
+* makespan — time from the first arrival to the last completion;
+* cluster utilization — busy GPU-seconds over ``num_gpus * makespan``,
+  counting only useful work (foreground stage time, background compute);
+* foreground / background goodput — completed training samples per second
+  of makespan, split by job class.
+
+Both dataclasses are frozen so two runs can be compared with ``==`` when
+asserting determinism under a fixed trace seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..cluster.job import JobKind
+
+__all__ = ["JobRecord", "FleetMetrics", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) without numpy."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle summary of one completed job.
+
+    Attributes
+    ----------
+    name / model / kind:
+        Job identity (kind distinguishes foreground from background).
+    arrival_time / start_time / finish_time:
+        Submission, first placement, and completion times (seconds).
+    iterations / global_batch:
+        Work completed: ``iterations * global_batch`` training samples.
+    width:
+        GPU width at completion (1 for background jobs).
+    busy_gpu_seconds:
+        GPU-seconds of useful compute the job performed.
+    allocated_gpu_seconds:
+        GPU-seconds of capacity dedicated to the job (zero while a
+        background job rides collocated on foreground GPUs).
+    preemptions / replans:
+        Times the job was preempted off its GPUs / re-planned to a new width.
+    """
+
+    name: str
+    model: str
+    kind: JobKind
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    iterations: int
+    global_batch: int
+    width: int
+    busy_gpu_seconds: float
+    allocated_gpu_seconds: float
+    preemptions: int = 0
+    replans: int = 0
+
+    @property
+    def jct(self) -> float:
+        """Job completion time: finish minus arrival."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting before the first placement."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def samples(self) -> int:
+        """Training samples processed over the job's lifetime."""
+        return self.iterations * self.global_batch
+
+    @property
+    def is_foreground(self) -> bool:
+        return self.kind is JobKind.FOREGROUND
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Aggregate outcome of one scheduler run."""
+
+    num_gpus: int
+    num_jobs: int
+    makespan: float
+    mean_jct: float
+    median_jct: float
+    p95_jct: float
+    max_jct: float
+    mean_queue_delay: float
+    utilization: float
+    fg_goodput: float
+    bg_goodput: float
+    preemptions: int
+    replans: int
+
+    @property
+    def total_goodput(self) -> float:
+        return self.fg_goodput + self.bg_goodput
+
+    @classmethod
+    def compute(
+        cls, records: Sequence[JobRecord], num_gpus: int, makespan: float
+    ) -> "FleetMetrics":
+        """Summarize a run from its completed-job records."""
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        if not records:
+            raise ValueError("cannot compute metrics without completed jobs")
+        jcts: List[float] = [r.jct for r in records]
+        span = max(makespan, 1e-12)
+        busy = sum(r.busy_gpu_seconds for r in records)
+        fg_samples = sum(r.samples for r in records if r.is_foreground)
+        bg_samples = sum(r.samples for r in records if not r.is_foreground)
+        return cls(
+            num_gpus=num_gpus,
+            num_jobs=len(records),
+            makespan=makespan,
+            mean_jct=sum(jcts) / len(jcts),
+            median_jct=percentile(jcts, 50.0),
+            p95_jct=percentile(jcts, 95.0),
+            max_jct=max(jcts),
+            mean_queue_delay=sum(r.queue_delay for r in records) / len(records),
+            utilization=min(1.0, busy / (num_gpus * span)),
+            fg_goodput=fg_samples / span,
+            bg_goodput=bg_samples / span,
+            preemptions=sum(r.preemptions for r in records),
+            replans=sum(r.replans for r in records),
+        )

@@ -1,0 +1,613 @@
+"""Trace-driven multi-tenant cluster scheduler.
+
+This is the cluster-manager story of the paper turned into a discrete-event
+simulator: a stream of :class:`~repro.sched.traces.TraceJob`\\ s arrives over
+time, a :class:`~repro.sched.policies.SchedulingPolicy` decides admission
+order and GPU widths, the :class:`~repro.core.planner.planner.BurstParallelPlanner`
+produces a burst-parallel plan for every foreground placement, the
+:class:`~repro.cluster.coordinator.ClusterCoordinator` maps the plan onto the
+job's GPUs (yielding per-GPU busy fractions), and background jobs are packed
+onto the idle gaps of foreground GPUs through the
+:class:`~repro.cluster.executor.CollocationProfile`.
+
+The event loop supports the dynamics a real cluster manager needs:
+
+* **admission / backfilling** — pending jobs are (re)considered at every
+  arrival and completion, in policy order;
+* **collocation** — background jobs attached to a foreground GPU progress at
+  ``idle * bg_idle_efficiency + busy * bg_busy_efficiency`` of their isolated
+  rate while slowing the host foreground job by ``fg_slowdown``;
+* **preemption** — policies may evict dedicated background jobs (their
+  progress is kept; they re-enter the pending queue) to make room for
+  foreground work;
+* **re-planning** — when completions free GPUs and the queue is empty,
+  policies may re-plan a running foreground job to a wider burst-parallel
+  plan, preserving its progress.
+
+Plans are cached by ``(model, batch, width, amplification limit)`` so a long
+trace (or several policies sharing one scheduler) only pays each planner
+search once.  Everything is deterministic: identical traces and policies
+produce bit-identical :class:`~repro.sched.metrics.FleetMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cluster.coordinator import ClusterCoordinator
+from ..cluster.executor import CollocationProfile
+from ..cluster.job import JobKind
+from ..core.planner.plan import TrainingPlan
+from ..core.planner.planner import BurstParallelPlanner
+from ..models.graph import ModelGraph
+from ..models.registry import build_model
+from ..network.fabric import NetworkFabric, get_fabric
+from ..profiler.layer_profiler import LayerProfiler
+from .events import EventKind, EventQueue
+from .metrics import FleetMetrics, JobRecord
+from .policies import SchedulingPolicy, floor_pow2, get_policy
+from .traces import TraceJob
+
+__all__ = ["ClusterScheduler", "ScheduleResult"]
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+
+
+class _JobState:
+    """Mutable per-job simulation state (one instance per trace job per run)."""
+
+    def __init__(
+        self, trace: TraceJob, order: int, graph: ModelGraph, iso_iter_time: float
+    ) -> None:
+        self.trace = trace
+        self.order = order
+        self.graph = graph
+        #: Single-GPU time per iteration; the work estimate policies sort by.
+        self.iso_iter_time = iso_iter_time
+        self.status = _PENDING
+        self.remaining = float(trace.iterations)
+        self.version = 0
+        self.last_update = trace.arrival_time
+        self.rate = 0.0  # iterations per second while running
+        self.start_time: Optional[float] = None
+        # Foreground placement state.
+        self.width = 0
+        self.gpu_ids: List[int] = []
+        self.plan: Optional[TrainingPlan] = None
+        self.base_iter_time = 0.0
+        self.work_per_iteration = 0.0  # busy GPU-seconds per iteration
+        self.busy_fractions: List[float] = []
+        self.hosted: Dict[int, "_JobState"] = {}  # local GPU index -> bg job
+        # Background placement state.
+        self.host: Optional["_JobState"] = None
+        self.host_index = 0
+        # Accounting.
+        self.preemptions = 0
+        self.replans = 0
+        self.busy_gpu_seconds = 0.0
+        self.allocated_gpu_seconds = 0.0
+
+    # Attributes policies read (duck-typed).
+    @property
+    def name(self) -> str:
+        return self.trace.name
+
+    @property
+    def is_foreground(self) -> bool:
+        return self.trace.is_foreground
+
+    @property
+    def arrival_time(self) -> float:
+        return self.trace.arrival_time
+
+    @property
+    def global_batch(self) -> int:
+        return self.trace.global_batch
+
+    @property
+    def max_gpus(self) -> Optional[int]:
+        return self.trace.max_gpus
+
+    @property
+    def remaining_gpu_seconds(self) -> float:
+        """Estimated single-GPU compute remaining (the policy sort key)."""
+        return self.remaining * self.iso_iter_time
+
+    @property
+    def collocated(self) -> bool:
+        return self.host is not None
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one scheduler run: per-job records plus fleet metrics."""
+
+    policy: str
+    num_gpus: int
+    records: Tuple[JobRecord, ...]
+    metrics: FleetMetrics
+
+    def record(self, name: str) -> JobRecord:
+        for r in self.records:
+            if r.name == name:
+                return r
+        raise KeyError(f"no record for job {name!r}")
+
+
+class ClusterScheduler:
+    """Discrete-event scheduler serving a trace of jobs on a GPU cluster.
+
+    One instance can run many (trace, policy) combinations; planner and
+    profiler caches persist across runs, so comparing policies on the same
+    trace only pays each burst-parallel plan search once.
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        fabric: Union[NetworkFabric, str, None] = None,
+        profiler: Optional[LayerProfiler] = None,
+        planner: Optional[BurstParallelPlanner] = None,
+        collocation: Optional[CollocationProfile] = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be at least 1")
+        self.num_gpus = num_gpus
+        if fabric is None or isinstance(fabric, str):
+            fabric = get_fabric(fabric if fabric is not None else "nvswitch")
+        self.fabric = fabric
+        self.profiler = profiler if profiler is not None else LayerProfiler()
+        self.planner = (
+            planner
+            if planner is not None
+            else BurstParallelPlanner(self.fabric, self.profiler)
+        )
+        self.collocation = (
+            collocation if collocation is not None else CollocationProfile()
+        )
+        self._plan_cache: Dict[Tuple[str, int, int, float], TrainingPlan] = {}
+        self._graph_cache: Dict[str, ModelGraph] = {}
+        self._iso_cache: Dict[Tuple[str, int], float] = {}
+        self._states: Dict[str, _JobState] = {}
+
+    # ------------------------------------------------------------------ caches
+    def _graph(self, model: str) -> ModelGraph:
+        if model not in self._graph_cache:
+            self._graph_cache[model] = build_model(model)
+        return self._graph_cache[model]
+
+    def _iso_iter_time(self, model: str, batch: int) -> float:
+        key = (model, batch)
+        if key not in self._iso_cache:
+            self._iso_cache[key] = self.profiler.iteration_compute_time(
+                self._graph(model), batch
+            )
+        return self._iso_cache[key]
+
+    def _plan_for(self, state: _JobState, width: int) -> TrainingPlan:
+        key = (
+            state.trace.model,
+            state.global_batch,
+            width,
+            state.trace.amplification_limit,
+        )
+        if key not in self._plan_cache:
+            self._plan_cache[key] = self.planner.plan(
+                state.graph,
+                state.global_batch,
+                width,
+                amplification_limit=state.trace.amplification_limit,
+            )
+        return self._plan_cache[key]
+
+    # --------------------------------------------------------------- event loop
+    def run(
+        self, trace: Sequence[TraceJob], policy: Union[str, SchedulingPolicy]
+    ) -> ScheduleResult:
+        """Simulate the whole trace under one policy and return its metrics."""
+        policy = get_policy(policy)
+        if not trace:
+            raise ValueError("trace must contain at least one job")
+        names = [job.name for job in trace]
+        if len(set(names)) != len(names):
+            raise ValueError("trace job names must be unique")
+
+        states: Dict[str, _JobState] = {}
+        for order, job in enumerate(trace):
+            states[job.name] = _JobState(
+                job, order, self._graph(job.model),
+                self._iso_iter_time(job.model, job.global_batch),
+            )
+        # Per-run registry the placement helpers consult (re-bound every run).
+        self._states = states
+
+        queue = EventQueue()
+        for job in trace:
+            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.name)
+
+        free: List[int] = list(range(self.num_gpus))
+        pending: List[_JobState] = []
+        records: List[JobRecord] = []
+        first_arrival = min(job.arrival_time for job in trace)
+        last_finish = first_arrival
+
+        while queue:
+            event = queue.pop()
+            state = states[event.job_name]
+            now = event.time
+            if event.kind is EventKind.JOB_ARRIVAL:
+                state.last_update = now
+                pending.append(state)
+            else:
+                if state.status != _RUNNING or event.version != state.version:
+                    continue  # stale finish event (job was re-planned/preempted)
+                self._finish(state, now, free, pending, queue, records)
+                last_finish = max(last_finish, now)
+            self._schedule_pending(now, pending, free, policy, queue)
+            if policy.replan_running and not pending and free:
+                self._expand_running(now, free, queue)
+
+        unfinished = [s.name for s in states.values() if s.status != _DONE]
+        if unfinished:
+            raise RuntimeError(
+                f"scheduler deadlock under policy {policy.name!r}: "
+                f"jobs never completed: {', '.join(sorted(unfinished))}"
+            )
+        # Makespan runs from the first arrival to the last completion, so a
+        # trace submitted late does not dilute utilization and goodput.
+        metrics = FleetMetrics.compute(
+            records, self.num_gpus, last_finish - first_arrival
+        )
+        return ScheduleResult(
+            policy=policy.name,
+            num_gpus=self.num_gpus,
+            records=tuple(records),
+            metrics=metrics,
+        )
+
+    # ---------------------------------------------------------------- progress
+    def _advance(self, state: _JobState, now: float) -> None:
+        """Account progress since the job's last update."""
+        elapsed = now - state.last_update
+        state.last_update = now
+        if state.status != _RUNNING or elapsed <= 0:
+            return
+        done = min(state.remaining, elapsed * state.rate)
+        state.remaining -= done
+        state.busy_gpu_seconds += done * state.work_per_iteration
+        if state.is_foreground:
+            state.allocated_gpu_seconds += elapsed * state.width
+        elif not state.collocated:
+            state.allocated_gpu_seconds += elapsed
+
+    def _current_rate(self, state: _JobState) -> float:
+        """Iterations per second in the job's current placement."""
+        profile = self.collocation
+        if state.is_foreground:
+            slowdown = profile.fg_slowdown if state.hosted else 1.0
+            return 1.0 / (state.base_iter_time * slowdown)
+        if state.collocated:
+            assert state.host is not None
+            busy = state.host.busy_fractions[state.host_index]
+            efficiency = (
+                (1.0 - busy) * profile.bg_idle_efficiency
+                + busy * profile.bg_busy_efficiency
+            )
+            return efficiency / state.iso_iter_time
+        return 1.0 / state.iso_iter_time
+
+    def _reschedule_finish(
+        self, state: _JobState, now: float, queue: EventQueue
+    ) -> None:
+        """Recompute the job's rate and (re)arm its finish event."""
+        state.version += 1
+        state.rate = self._current_rate(state)
+        finish = now + state.remaining / state.rate
+        queue.push(finish, EventKind.JOB_FINISH, state.name, state.version)
+
+    # --------------------------------------------------------------- placement
+    def _take_gpus(self, free: List[int], count: int) -> List[int]:
+        free.sort()
+        taken, free[:] = free[:count], free[count:]
+        return taken
+
+    def _install_plan(self, state: _JobState, plan: TrainingPlan) -> None:
+        """Bind a burst-parallel plan (and its per-GPU occupancy) to a job."""
+        coordinator = ClusterCoordinator(num_gpus=plan.total_gpus)
+        coordinator.place_plan(plan)
+        state.busy_fractions = coordinator.busy_fractions(plan.iteration_time)
+        state.plan = plan
+        state.base_iter_time = plan.iteration_time
+        state.work_per_iteration = plan.total_gpu_seconds()
+        state.width = plan.total_gpus
+
+    def _start_foreground(
+        self, state: _JobState, width: int, now: float, free: List[int],
+        queue: EventQueue,
+    ) -> None:
+        self._install_plan(state, self._plan_for(state, width))
+        state.gpu_ids = self._take_gpus(free, width)
+        state.hosted = {}
+        state.status = _RUNNING
+        if state.start_time is None:
+            state.start_time = now
+        state.last_update = now
+        self._reschedule_finish(state, now, queue)
+
+    def _start_background_dedicated(
+        self, state: _JobState, now: float, free: List[int], queue: EventQueue
+    ) -> None:
+        state.width = 1
+        state.gpu_ids = self._take_gpus(free, 1)
+        state.host = None
+        state.work_per_iteration = state.iso_iter_time
+        state.status = _RUNNING
+        if state.start_time is None:
+            state.start_time = now
+        state.last_update = now
+        self._reschedule_finish(state, now, queue)
+
+    def _attach_background(
+        self, state: _JobState, host: _JobState, index: int, now: float,
+        queue: EventQueue,
+    ) -> None:
+        """Collocate a background job onto one GPU of a running foreground job."""
+        first_guest = not host.hosted
+        host.hosted[index] = state
+        state.host = host
+        state.host_index = index
+        state.width = 1
+        state.gpu_ids = [host.gpu_ids[index]]
+        state.work_per_iteration = state.iso_iter_time
+        state.status = _RUNNING
+        if state.start_time is None:
+            state.start_time = now
+        state.last_update = now
+        self._reschedule_finish(state, now, queue)
+        if first_guest:
+            # The foreground host now pays the collocation slowdown.
+            self._advance(host, now)
+            self._reschedule_finish(host, now, queue)
+
+    def _pick_background_host(
+        self, states: Sequence[_JobState], min_efficiency: float
+    ) -> Optional[Tuple[_JobState, int]]:
+        """Most-idle free slot on a running foreground job, or ``None``.
+
+        Slots whose expected background efficiency falls below
+        ``min_efficiency`` are not offered: a background job crawling beside
+        an always-busy foreground is worse than waiting for a free GPU.
+        """
+        profile = self.collocation
+        best: Optional[Tuple[float, int, int, _JobState]] = None
+        for fg in states:
+            for index, busy in enumerate(fg.busy_fractions):
+                if index in fg.hosted:
+                    continue
+                efficiency = (
+                    (1.0 - busy) * profile.bg_idle_efficiency
+                    + busy * profile.bg_busy_efficiency
+                )
+                if efficiency < min_efficiency:
+                    continue
+                key = (busy, fg.order, index)
+                if best is None or key < (best[0], best[1], best[2]):
+                    best = (busy, fg.order, index, fg)
+        if best is None:
+            return None
+        return best[3], best[2]
+
+    def _detach_background(
+        self, state: _JobState, now: float, pending: List[_JobState]
+    ) -> None:
+        """Return a collocated background job to the pending queue."""
+        self._advance(state, now)
+        assert state.host is not None
+        del state.host.hosted[state.host_index]
+        state.host = None
+        state.gpu_ids = []
+        state.status = _PENDING
+        state.version += 1  # invalidate the in-flight finish event
+        pending.append(state)
+
+    def _preempt_background(
+        self, state: _JobState, now: float, free: List[int],
+        pending: List[_JobState],
+    ) -> None:
+        """Evict a dedicated background job, keeping its progress."""
+        self._advance(state, now)
+        free.extend(state.gpu_ids)
+        state.gpu_ids = []
+        state.status = _PENDING
+        state.version += 1
+        state.preemptions += 1
+        pending.append(state)
+
+    # --------------------------------------------------------------- completion
+    def _finish(
+        self, state: _JobState, now: float, free: List[int],
+        pending: List[_JobState], queue: EventQueue, records: List[JobRecord],
+    ) -> None:
+        self._advance(state, now)
+        state.remaining = 0.0
+        state.status = _DONE
+        if state.collocated:
+            assert state.host is not None
+            host = state.host
+            del host.hosted[state.host_index]
+            state.host = None
+            if not host.hosted:
+                # Last guest left: the host runs at full speed again.
+                self._advance(host, now)
+                self._reschedule_finish(host, now, queue)
+        else:
+            free.extend(state.gpu_ids)
+        state.gpu_ids = []
+        if state.is_foreground:
+            # Orphaned guests go back to the queue and are re-placed below.
+            for guest in sorted(state.hosted.values(), key=lambda g: g.order):
+                self._detach_background(guest, now, pending)
+            state.hosted = {}
+        assert state.start_time is not None
+        records.append(
+            JobRecord(
+                name=state.name,
+                model=state.trace.model,
+                kind=state.trace.kind,
+                arrival_time=state.arrival_time,
+                start_time=state.start_time,
+                finish_time=now,
+                iterations=state.trace.iterations,
+                global_batch=state.global_batch,
+                width=max(state.width, 1),
+                busy_gpu_seconds=state.busy_gpu_seconds,
+                allocated_gpu_seconds=state.allocated_gpu_seconds,
+                preemptions=state.preemptions,
+                replans=state.replans,
+            )
+        )
+
+    # -------------------------------------------------------------- scheduling
+    def _schedule_pending(
+        self, now: float, pending: List[_JobState], free: List[int],
+        policy: SchedulingPolicy, queue: EventQueue,
+    ) -> None:
+        """Place pending jobs until the policy makes no further progress."""
+        while pending:
+            order = sorted(pending, key=lambda s: policy.sort_key(s, now))
+            placed: List[_JobState] = []
+            waiting_fg = sum(1 for s in order if s.is_foreground)
+            for state in order:
+                if state.is_foreground:
+                    desired = policy.desired_width(state, self.num_gpus)
+                    if policy.preempt_background and len(free) < desired:
+                        self._preempt_for(desired, now, free, pending)
+                    width = policy.width_for(
+                        state, len(free), self.num_gpus, waiting_fg
+                    )
+                    waiting_fg -= 1  # this job's share is settled either way
+                    if width is None:
+                        if policy.strict_order:
+                            break
+                        continue
+                    self._start_foreground(state, width, now, free, queue)
+                    placed.append(state)
+                else:
+                    if self._place_background(state, now, free, policy, queue):
+                        placed.append(state)
+                    elif policy.strict_order:
+                        break
+            if not placed:
+                break
+            for state in placed:
+                pending.remove(state)
+
+    def _preempt_for(
+        self, desired: int, now: float, free: List[int],
+        pending: List[_JobState],
+    ) -> None:
+        """Evict the fewest dedicated background jobs that widen a placement.
+
+        Widths are powers of two, so eviction only helps when it lifts
+        ``floor_pow2`` of the free pool; preempting beyond that (or when even
+        evicting every victim would not reach the next power of two) only
+        churns background jobs without changing the foreground placement.
+        """
+        victims = sorted(
+            (
+                victim
+                for victim in self._dedicated_backgrounds()
+                if victim.status == _RUNNING
+            ),
+            key=lambda v: (-v.remaining_gpu_seconds, v.order),
+        )
+        attainable = min(desired, floor_pow2(len(free) + len(victims)))
+        needed = attainable - len(free)
+        if attainable <= floor_pow2(len(free)) or needed <= 0:
+            return
+        for victim in victims[:needed]:
+            self._preempt_background(victim, now, free, pending)
+
+    def _place_background(
+        self, state: _JobState, now: float, free: List[int],
+        policy: SchedulingPolicy, queue: EventQueue,
+    ) -> bool:
+        # A whole free GPU always beats sharing one with a foreground job.
+        if free:
+            self._start_background_dedicated(state, now, free, queue)
+            return True
+        if policy.collocate_background:
+            min_efficiency = getattr(policy, "min_collocation_efficiency", 0.0)
+            host = self._pick_background_host(self._running_fg, min_efficiency)
+            if host is not None:
+                self._attach_background(state, host[0], host[1], now, queue)
+                return True
+        return False
+
+    @property
+    def _running_fg(self) -> List[_JobState]:
+        return [
+            s for s in self._states.values()
+            if s.status == _RUNNING and s.is_foreground
+        ]
+
+    def _dedicated_backgrounds(self) -> List[_JobState]:
+        return [
+            s for s in self._states.values()
+            if s.status == _RUNNING and not s.is_foreground and not s.collocated
+        ]
+
+    def _expand_running(
+        self, now: float, free: List[int], queue: EventQueue
+    ) -> None:
+        """Re-plan running foreground jobs onto freed GPUs (widest win first)."""
+        while free:
+            candidates = sorted(
+                (
+                    s for s in self._running_fg
+                    if floor_pow2(s.width + len(free)) > s.width
+                    and s.width < min(
+                        self.num_gpus,
+                        s.global_batch,
+                        s.max_gpus if s.max_gpus is not None else self.num_gpus,
+                    )
+                ),
+                key=lambda s: (-s.remaining_gpu_seconds, s.order),
+            )
+            expanded = False
+            for state in candidates:
+                cap = min(
+                    self.num_gpus,
+                    state.global_batch,
+                    state.max_gpus if state.max_gpus is not None else self.num_gpus,
+                )
+                new_width = min(floor_pow2(state.width + len(free)), floor_pow2(cap))
+                if new_width <= state.width:
+                    continue
+                plan = self._plan_for(state, new_width)
+                if plan.iteration_time >= state.base_iter_time:
+                    continue  # wider is not faster for this job; keep as is
+                self._replan(state, plan, new_width, now, free, queue)
+                expanded = True
+                break
+            if not expanded:
+                return
+
+    def _replan(
+        self, state: _JobState, plan: TrainingPlan, new_width: int, now: float,
+        free: List[int], queue: EventQueue,
+    ) -> None:
+        """Move a running foreground job to a wider plan, keeping progress."""
+        self._advance(state, now)
+        extra = self._take_gpus(free, new_width - state.width)
+        state.gpu_ids = state.gpu_ids + extra
+        self._install_plan(state, plan)
+        state.replans += 1
+        self._reschedule_finish(state, now, queue)
+        # Guests keep their GPU slot but their host's gaps moved.
+        for guest in sorted(state.hosted.values(), key=lambda g: g.order):
+            self._advance(guest, now)
+            self._reschedule_finish(guest, now, queue)

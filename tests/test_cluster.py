@@ -49,6 +49,24 @@ class TestTrainingJob:
         assert bg.kind is JobKind.BACKGROUND
         assert bg.name.endswith("-bg")
 
+    def test_foreground_round_trip_is_identity(self, vgg_job):
+        assert vgg_job.foreground() == vgg_job
+
+    def test_background_to_foreground_round_trip(self, vgg_job):
+        round_tripped = vgg_job.background(batch=4).foreground()
+        assert round_tripped.is_foreground
+        assert round_tripped.kind is JobKind.FOREGROUND
+        # The graph and batch survive the round trip; the amplification
+        # limit does not (background jobs have none to restore).
+        assert round_tripped.graph is vgg_job.graph
+        assert round_tripped.global_batch == 4
+        assert round_tripped.amplification_limit is None
+
+    def test_background_round_trip_preserves_batch_by_default(self, vgg_job):
+        bg = vgg_job.background()
+        assert bg.global_batch == vgg_job.global_batch
+        assert bg.background(batch=2).global_batch == 2
+
     def test_invalid_job_rejected(self):
         with pytest.raises(ValueError):
             TrainingJob(name="bad", graph=vgg16(), global_batch=0)
@@ -109,6 +127,55 @@ class TestClusterCoordinator:
         coordinator.place_background(vgg_job.background(batch=2))
         assert all(rt.background_job is not None for rt in coordinator.runtimes)
 
+    def test_background_placement_explicit_subset(self, vgg_job):
+        coordinator = ClusterCoordinator(num_gpus=4)
+        coordinator.place_background(vgg_job.background(batch=2), gpu_ids=[1, 3])
+        hosts = [rt.gpu_id for rt in coordinator.runtimes if rt.background_job]
+        assert hosts == [1, 3]
+
+    def test_background_placement_empty_subset_is_noop(self, vgg_job):
+        coordinator = ClusterCoordinator(num_gpus=4)
+        coordinator.place_background(vgg_job.background(batch=2), gpu_ids=[])
+        assert all(rt.background_job is None for rt in coordinator.runtimes)
+
+    def test_full_width_parallel_branch_rejected(self, bp_plan):
+        # A concurrent branch spanning every GPU would overlap the critical
+        # path's GPU range (which always includes GPU 0).
+        from repro.core.planner.plan import LayerAssignment, TrainingPlan
+
+        plan = TrainingPlan(
+            model_name="handmade",
+            global_batch=8,
+            total_gpus=4,
+            amplification_limit=2.0,
+            assignments=[
+                LayerAssignment(
+                    layer_id=0, layer_name="trunk", op="conv2d",
+                    num_gpus=2, compute_time=1e-3,
+                ),
+                LayerAssignment(
+                    layer_id=1, layer_name="branch", op="conv2d",
+                    num_gpus=4, compute_time=1e-3, parallel_branch=True,
+                ),
+            ],
+            iteration_time=2e-3,
+        )
+        coordinator = ClusterCoordinator(num_gpus=4)
+        with pytest.raises(ValueError, match="overlap the critical-path"):
+            coordinator.place_plan(plan)
+
+    def test_planner_parallel_branches_still_place(self, fabric):
+        # Plans emitted by the planner always leave room for the critical
+        # branch, so placement keeps working for branching models.
+        from repro.models import inception_v3
+
+        planner = BurstParallelPlanner(fabric, LayerProfiler(), PlannerConfig(2.0))
+        plan = planner.plan(inception_v3(), 32, 8)
+        assert any(a.parallel_branch for a in plan.assignments)
+        coordinator = ClusterCoordinator(num_gpus=8)
+        runtimes = coordinator.place_plan(plan)
+        assert sum(rt.foreground_busy_time for rt in runtimes) > 0
+
     def test_invalid_cluster_size(self):
         with pytest.raises(ValueError):
             ClusterCoordinator(num_gpus=0)
@@ -125,6 +192,32 @@ class TestCollocationProfile:
         profile = CollocationProfile()
         assert profile.fg_slowdown >= 1.0
         assert profile.bg_idle_efficiency > profile.bg_busy_efficiency
+
+    def test_calibrate_accepts_bg_idle_efficiency(self, vgg_job):
+        from repro.core.multiplexing.collocation import CollocationResult
+
+        class StubRunner:
+            def run_scenario(self, *args, **kwargs):
+                return CollocationResult(
+                    label="calibration",
+                    fg_throughput=80.0,
+                    bg_throughput=30.0,
+                    fg_isolated_throughput=100.0,
+                    device_utilization=0.9,
+                )
+
+            def background_only_throughput(self, *args, **kwargs):
+                return 60.0
+
+        graph = vgg_job.graph
+        profile = CollocationProfile.calibrate(
+            StubRunner(), graph, 4, graph, bg_idle_efficiency=0.8
+        )
+        assert profile.bg_idle_efficiency == 0.8
+        assert profile.fg_slowdown == pytest.approx(100.0 / 80.0)
+        assert profile.bg_busy_efficiency == pytest.approx(0.5)
+        default = CollocationProfile.calibrate(StubRunner(), graph, 4, graph)
+        assert default.bg_idle_efficiency == 0.95
 
 
 class TestClusterExecutor:
