@@ -18,7 +18,10 @@ organised as:
 * ``repro.sched`` — trace-driven multi-tenant cluster scheduler (event loop,
   scheduling policies, trace generators, fleet metrics);
 * ``repro.workloads`` / ``repro.analysis`` — experiment definitions and the
-  per-figure entry points used by the benchmark harnesses.
+  per-figure entry points used by the benchmark harnesses;
+* ``repro.bench`` — the performance harness: named scenarios, deterministic
+  ``BENCH_*.json`` artifacts, and the CI regression gate
+  (``python -m repro.bench``).
 """
 
 from .core.planner import BurstParallelPlanner, PlannerConfig, TrainingPlan

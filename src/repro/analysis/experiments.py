@@ -11,7 +11,7 @@ paper's reported results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.executor import ClusterExecutor, CollocationProfile
@@ -26,7 +26,7 @@ from ..core.multiplexing.collocation import (
 from ..core.multiplexing.config import MultiplexConfig
 from ..core.planner.planner import BurstParallelPlanner, PlannerConfig
 from ..models.registry import TABLE1_MODELS, build_model, model_entry
-from ..network.fabric import NetworkFabric, get_fabric
+from ..network.fabric import get_fabric
 from ..profiler.layer_profiler import LayerProfiler, per_gpu_batch
 from ..profiler.utilization import utilization_cdf
 from ..sched import ClusterScheduler, ScheduleResult, alibaba_trace, synthetic_trace
@@ -39,7 +39,7 @@ from ..scaling.strategies import (
 )
 from ..workloads.synthetic import default_kernel_grid
 from ..workloads.table1 import WorkloadCharacteristics, table1_characteristics
-from .reporting import format_bars, format_matrix, format_table
+from .reporting import format_table
 
 __all__ = [
     "figure1_scaling_strategies",

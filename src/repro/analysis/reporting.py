@@ -7,7 +7,7 @@ bench output readable in a terminal or a CI log.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
 __all__ = ["format_table", "format_matrix", "format_bars"]
 

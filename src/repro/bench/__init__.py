@@ -1,0 +1,59 @@
+"""``repro.bench`` — the repo's performance harness.
+
+A benchmark runner that times named scenarios over the system's hot paths
+(planner search grids, cluster-scheduler simulations, collocation sweeps),
+emits deterministic ``BENCH_<name>.json`` artifacts, and diffs artifact sets
+to gate performance regressions in CI.
+
+Public API:
+
+* :func:`~repro.bench.harness.run_scenario` / :func:`available_scenarios` /
+  the :func:`~repro.bench.harness.scenario` registration decorator;
+* :class:`~repro.bench.artifact.BenchArtifact` and
+  :func:`~repro.bench.artifact.load_artifacts`;
+* :func:`~repro.bench.compare.compare_artifacts` /
+  :func:`~repro.bench.compare.format_report` — the regression gate;
+* :func:`~repro.bench.sweep.run_jobs` / :func:`~repro.bench.sweep.grid_jobs`
+  — the multiprocess sweep driver.
+
+Command line: ``python -m repro.bench run --all``, ``... compare A B``.
+"""
+
+from .artifact import (
+    SCHEMA_VERSION,
+    BenchArtifact,
+    artifact_filename,
+    current_git_sha,
+    load_artifacts,
+)
+from .compare import Comparison, ComparisonRow, compare_artifacts, format_report
+from .harness import (
+    Scenario,
+    ScenarioResult,
+    available_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario,
+)
+from .sweep import SweepJob, grid_jobs, run_jobs
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchArtifact",
+    "artifact_filename",
+    "current_git_sha",
+    "load_artifacts",
+    "Comparison",
+    "ComparisonRow",
+    "compare_artifacts",
+    "format_report",
+    "Scenario",
+    "ScenarioResult",
+    "available_scenarios",
+    "get_scenario",
+    "run_scenario",
+    "scenario",
+    "SweepJob",
+    "grid_jobs",
+    "run_jobs",
+]

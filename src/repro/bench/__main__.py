@@ -1,0 +1,198 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Subcommands
+-----------
+``list``
+    Show registered scenarios, their descriptions and default parameters.
+``run``
+    Run scenarios (``--all`` or by name) and write ``BENCH_<name>.json``
+    artifacts.  ``--param k=v`` overrides scenario parameters; ``--processes``
+    fans independent scenarios out across cores.
+``sweep``
+    Run one scenario over a parameter grid (``--grid k=v1,v2 ...``), one
+    artifact per combination, optionally multiprocessed.
+``compare``
+    Diff a current artifact set against a baseline (files or directories) and
+    exit nonzero on regression — the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .artifact import load_artifacts
+from .compare import DEFAULT_MAX_TIME_REGRESS_PCT, compare_artifacts, format_report
+from .harness import available_scenarios, get_scenario
+from .sweep import SweepJob, grid_jobs, run_jobs
+
+
+def _parse_scalar(text: str) -> Any:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_value(text: str) -> Any:
+    if "," in text:
+        return [_parse_scalar(part) for part in text.split(",") if part != ""]
+    return _parse_scalar(text)
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects k=v, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        defaults = ", ".join(f"{k}={v!r}" for k, v in sorted(spec.default_params.items()))
+        print(f"{name}\n    {spec.description}\n    defaults: {defaults}")
+    return 0
+
+
+def _write_and_report(artifacts, out_dir) -> None:
+    for artifact in artifacts:
+        path = artifact.write(out_dir)
+        print(
+            f"{artifact.name}: ops={artifact.ops} "
+            f"wall={artifact.wall_time_s:.3f}s -> {path}"
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all:
+        names = available_scenarios()
+    elif args.scenarios:
+        names = list(args.scenarios)
+    else:
+        raise SystemExit("run: give scenario names or --all")
+    overrides = _parse_overrides(args.param)
+    # Each override applies to the scenarios that have that parameter, so
+    # `run --all --param seed=7` works even though not every scenario takes a
+    # seed.  A key no scenario accepts is still an error (likely a typo).
+    used_keys = set()
+    jobs = []
+    for name in names:
+        defaults = get_scenario(name).default_params
+        applicable = {k: v for k, v in overrides.items() if k in defaults}
+        used_keys.update(applicable)
+        jobs.append(
+            SweepJob(scenario=name, overrides=applicable, repeats=args.repeats)
+        )
+    unknown = sorted(set(overrides) - used_keys)
+    if unknown:
+        raise SystemExit(
+            f"no selected scenario has parameter(s): {', '.join(unknown)}"
+        )
+    _write_and_report(run_jobs(jobs, processes=args.processes), args.out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = {k: v if isinstance(v, list) else [v]
+            for k, v in _parse_overrides(args.grid).items()}
+    defaults = get_scenario(args.scenario).default_params
+    unknown = sorted(set(grid) - set(defaults))
+    if unknown:
+        raise SystemExit(
+            f"scenario {args.scenario!r} has no parameter(s): "
+            f"{', '.join(unknown)}; available: {', '.join(sorted(defaults))}"
+        )
+    jobs = grid_jobs(args.scenario, grid, repeats=args.repeats)
+    _write_and_report(run_jobs(jobs, processes=args.processes), args.out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_artifacts(
+        load_artifacts(args.baseline),
+        load_artifacts(args.current),
+        max_time_regress_pct=args.max_time_regress,
+        ops_tolerance_pct=args.ops_tolerance,
+        ignore_time=args.ignore_time,
+    )
+    print(format_report(comparison))
+    return 0 if comparison.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Performance harness: run benchmark scenarios and gate regressions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios").set_defaults(
+        fn=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run scenarios and write artifacts")
+    run_p.add_argument("scenarios", nargs="*", help="scenario names")
+    run_p.add_argument("--all", action="store_true", help="run every scenario")
+    run_p.add_argument("--out", default=".", help="artifact output directory")
+    run_p.add_argument("--repeats", type=int, default=1, help="timing repeats")
+    run_p.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for independent scenarios",
+    )
+    run_p.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="override a scenario parameter (repeatable)",
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="run one scenario over a parameter grid")
+    sweep_p.add_argument("scenario", help="scenario name")
+    sweep_p.add_argument(
+        "--grid", action="append", default=[], metavar="K=V1,V2",
+        help="parameter values to sweep (repeatable)",
+    )
+    sweep_p.add_argument("--out", default=".", help="artifact output directory")
+    sweep_p.add_argument("--repeats", type=int, default=1, help="timing repeats")
+    sweep_p.add_argument(
+        "--processes", type=int, default=1, help="worker processes"
+    )
+    sweep_p.set_defaults(fn=_cmd_sweep)
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff artifacts against a baseline; nonzero exit on regression"
+    )
+    cmp_p.add_argument("baseline", help="baseline artifact file or directory")
+    cmp_p.add_argument("current", help="current artifact file or directory")
+    cmp_p.add_argument(
+        "--max-time-regress", type=float, default=DEFAULT_MAX_TIME_REGRESS_PCT,
+        metavar="PCT", help="allowed wall-time regression percent (default 10)",
+    )
+    cmp_p.add_argument(
+        "--ops-tolerance", type=float, default=0.0, metavar="PCT",
+        help="allowed op-count drift percent (default 0: exact)",
+    )
+    cmp_p.add_argument(
+        "--ignore-time", action="store_true",
+        help="skip wall-time checks (cross-machine comparisons)",
+    )
+    cmp_p.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

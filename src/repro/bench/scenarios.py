@@ -1,0 +1,149 @@
+"""The built-in benchmark scenarios covering the repo's hot paths.
+
+Three scenarios ship by default, one per subsystem the ROADMAP cares about:
+
+* ``planner_grid`` — burst-parallel plan search across every registry model
+  at a grid of GPU budgets (the paper's Table 3 headline, scaled up).  Ops
+  are layer-profile queries; ``cached=False`` re-plans with cold caches to
+  measure the pre-memoization code path.
+* ``sched_sim`` — the trace-driven multi-tenant cluster scheduler at
+  production scale (256 GPUs, 500 jobs).  Ops are simulation events
+  processed.
+* ``collocation_matrix`` — the Figure 12 pairwise GPU-collocation sweep over
+  the synthetic kernel grid.  Ops are GPU-simulator runs.
+
+Every scenario returns deterministic ops and metric fingerprints: running
+twice with the same parameters must produce byte-identical values, which is
+what lets CI gate regressions against a committed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..analysis.experiments import figure12_collocation_matrix
+from ..core.planner.planner import BurstParallelPlanner, PlannerConfig
+from ..models.registry import available_models, build_model, model_entry
+from ..network.fabric import get_fabric
+from ..profiler.layer_profiler import LayerProfiler
+from ..sched import ClusterScheduler, alibaba_trace, synthetic_trace
+from .harness import ScenarioResult, scenario
+
+__all__ = ["planner_grid", "sched_sim", "collocation_matrix"]
+
+
+@scenario(
+    "planner_grid",
+    "Burst-parallel plan search: all registry models x a grid of GPU budgets",
+    models=(),
+    gpu_counts=(1, 2, 4, 8, 16, 32),
+    fabric="nvswitch",
+    amplification_limit=2.0,
+    powers_of_two_only=True,
+    cached=True,
+)
+def planner_grid(
+    models: Sequence[str],
+    gpu_counts: Sequence[int],
+    fabric: str,
+    amplification_limit: float,
+    powers_of_two_only: bool,
+    cached: bool,
+) -> ScenarioResult:
+    """Plan every model at every GPU budget; ops = layer-profile queries.
+
+    ``cached=False`` disables the profiler memo and drops the planner's cost
+    models before every search, reproducing the pre-optimization code path —
+    the benchmark pair the cached-profile speedup is proven against.
+    """
+    model_names = list(models) if models else available_models()
+    profiler = LayerProfiler(enable_cache=cached)
+    planner = BurstParallelPlanner(
+        get_fabric(fabric),
+        profiler,
+        PlannerConfig(amplification_limit, powers_of_two_only),
+    )
+    plans = 0
+    total_iteration_time = 0.0
+    total_search_relaxed_gpus = 0
+    for name in model_names:
+        graph = build_model(name)
+        for gpus in gpu_counts:
+            if not cached:
+                planner.clear_caches()
+            global_batch = max(model_entry(name).default_global_batch, gpus)
+            plan = planner.plan(graph, global_batch, gpus)
+            plans += 1
+            total_iteration_time += plan.iteration_time
+            total_search_relaxed_gpus += sum(a.num_gpus for a in plan.assignments)
+    return ScenarioResult(
+        ops=profiler.cache_stats.queries,
+        metrics={
+            "plans": float(plans),
+            "profile_computations": float(profiler.cache_stats.misses),
+            "total_iteration_time_s": total_iteration_time,
+            "total_assigned_gpus": float(total_search_relaxed_gpus),
+        },
+    )
+
+
+@scenario(
+    "sched_sim",
+    "Multi-tenant cluster scheduler: 500-job trace on a 256-GPU fleet",
+    num_gpus=256,
+    num_jobs=500,
+    seed=11,
+    policy="collocation",
+    trace="synthetic",
+    fabric="nvswitch",
+)
+def sched_sim(
+    num_gpus: int,
+    num_jobs: int,
+    seed: int,
+    policy: str,
+    trace: str,
+    fabric: str,
+) -> ScenarioResult:
+    """Simulate a whole trace under one policy; ops = events processed."""
+    if trace == "synthetic":
+        jobs = synthetic_trace(num_jobs, seed=seed)
+    elif trace == "alibaba":
+        jobs = alibaba_trace(num_jobs, seed=seed)
+    else:
+        raise ValueError(f"unknown trace {trace!r}; expected synthetic|alibaba")
+    sched = ClusterScheduler(num_gpus, fabric=fabric)
+    result = sched.run(jobs, policy)
+    m = result.metrics
+    return ScenarioResult(
+        ops=result.events_processed,
+        metrics={
+            "jobs": float(m.num_jobs),
+            "makespan_s": m.makespan,
+            "mean_jct_s": m.mean_jct,
+            "utilization": m.utilization,
+            "preemptions": float(m.preemptions),
+            "replans": float(m.replans),
+        },
+    )
+
+
+@scenario(
+    "collocation_matrix",
+    "Pairwise GPU-collocation sweep over the synthetic kernel grid (Fig. 12)",
+    sim_time=0.1,
+)
+def collocation_matrix(sim_time: float) -> ScenarioResult:
+    """Collocate every kernel-type pair; ops = GPU-simulator runs."""
+    cells = figure12_collocation_matrix(sim_time=sim_time)
+    labels = {hp for hp, _ in cells}
+    throughputs: Tuple[float, ...] = tuple(cells.values())
+    return ScenarioResult(
+        # One simulator run per pair plus one isolated run per kernel type.
+        ops=len(cells) + len(labels),
+        metrics={
+            "pairs": float(len(cells)),
+            "mean_relative_throughput": sum(throughputs) / len(throughputs),
+            "min_relative_throughput": min(throughputs),
+        },
+    )

@@ -1,0 +1,105 @@
+"""Multiprocess sweep driver: fan benchmark runs out across CPU cores.
+
+Two entry points:
+
+* :func:`grid_jobs` expands a parameter grid (e.g. ``gpu_counts`` x
+  ``fabric``) into one :class:`SweepJob` per combination, each with a unique
+  artifact name derived from its overrides;
+* :func:`run_jobs` executes a list of jobs — serially, or on a
+  ``multiprocessing`` pool when ``processes > 1``.  Each job runs a whole
+  scenario, so parallelism never perturbs a scenario's own timing: a worker
+  process times exactly one scenario at a time.
+
+Workers are module-level functions operating on plain tuples, so the driver
+works under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .artifact import BenchArtifact
+
+__all__ = ["SweepJob", "grid_jobs", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One scenario execution of a sweep (scenario + overrides + repeats)."""
+
+    scenario: str
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    repeats: int = 1
+    #: Artifact name; defaults to the scenario name (callers must make names
+    #: unique when sweeping one scenario over several parameter values).
+    artifact_name: Optional[str] = None
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "x".join(_format_value(v) for v in value)
+    return str(value)
+
+
+def grid_jobs(
+    scenario: str,
+    param_grid: Dict[str, Sequence[Any]],
+    repeats: int = 1,
+) -> List[SweepJob]:
+    """One job per combination of the grid's parameter values.
+
+    ``{"num_gpus": [64, 256], "policy": ["fifo", "collocation"]}`` yields four
+    jobs named ``<scenario>--num_gpus-64--policy-fifo`` etc., so their
+    artifacts never collide on disk.
+    """
+    if not param_grid:
+        return [SweepJob(scenario=scenario, repeats=repeats)]
+    keys = sorted(param_grid)
+    jobs: List[SweepJob] = []
+    for combo in itertools.product(*(param_grid[k] for k in keys)):
+        overrides = dict(zip(keys, combo))
+        suffix = "--".join(f"{k}-{_format_value(v)}" for k, v in overrides.items())
+        jobs.append(
+            SweepJob(
+                scenario=scenario,
+                overrides=overrides,
+                repeats=repeats,
+                artifact_name=f"{scenario}--{suffix}",
+            )
+        )
+    return jobs
+
+
+def _run_job(payload: Tuple[str, Dict[str, Any], int, Optional[str]]) -> Dict[str, Any]:
+    """Pool worker: run one scenario and return the artifact as a dict."""
+    from .harness import run_scenario  # local import keeps spawn workers light
+
+    scenario, overrides, repeats, artifact_name = payload
+    artifact = run_scenario(
+        scenario, overrides=overrides, repeats=repeats, artifact_name=artifact_name
+    )
+    return artifact.to_dict()
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob], processes: Optional[int] = None
+) -> List[BenchArtifact]:
+    """Execute sweep jobs, fanning out across ``processes`` workers.
+
+    ``processes`` of ``None`` or 1 runs serially (exact timings, no pool
+    overhead); higher values trade timing isolation for wall-clock speed —
+    appropriate for op-count-oriented sweeps and CI baselines.
+    """
+    payloads = [
+        (job.scenario, dict(job.overrides), job.repeats, job.artifact_name)
+        for job in jobs
+    ]
+    if processes is None or processes <= 1 or len(payloads) <= 1:
+        return [BenchArtifact.from_dict(_run_job(p)) for p in payloads]
+    workers = min(processes, len(payloads))
+    with multiprocessing.Pool(processes=workers) as pool:
+        dicts = pool.map(_run_job, payloads)
+    return [BenchArtifact.from_dict(d) for d in dicts]

@@ -13,7 +13,7 @@ supported, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from ..core.planner.plan import TrainingPlan
 from .job import TrainingJob

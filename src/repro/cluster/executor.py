@@ -21,7 +21,7 @@ analytically or calibrated by actually running the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..core.multiplexing.collocation import GPUCollocationRunner
 from ..core.multiplexing.config import MultiplexConfig

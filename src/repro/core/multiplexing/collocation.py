@@ -13,7 +13,7 @@ Drives the GPU device simulator to answer the paper's multiplexing questions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...gpu.device import DeviceConfig, GPUSimulator, SimulationResult

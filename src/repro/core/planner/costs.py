@@ -16,7 +16,7 @@ every candidate GPU count many times during the dynamic program).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ...models.graph import ModelGraph
 from ...network.collectives import CollectiveCostModel
@@ -82,6 +82,7 @@ class PlannerCostModel:
         self.redistribution = RedistributionCostModel(self.fabric)
         self._comp_cache: Dict[Tuple[int, int], float] = {}
         self._sync_cache: Dict[Tuple[int, int], float] = {}
+        self._comm_cache: Dict[Tuple[int, int, int], float] = {}
 
     # --------------------------------------------------------------- comp/sync
     def comp(self, layer_id: int, num_gpus: int) -> float:
@@ -116,9 +117,14 @@ class PlannerCostModel:
     def comm(self, src_layer: int, src_gpus: int, dst_layer: int, dst_gpus: int) -> float:
         """``comm(i, g) -> (j, h)``: redistribution cost between two layers."""
         del dst_layer  # cost depends only on the producer's activation volume
-        return self.redistribution.transition_time(
-            self.activation_bytes(src_layer), src_gpus, dst_gpus
-        )
+        key = (src_layer, src_gpus, dst_gpus)
+        cached = self._comm_cache.get(key)
+        if cached is None:
+            cached = self.redistribution.transition_time(
+                self.activation_bytes(src_layer), src_gpus, dst_gpus
+            )
+            self._comm_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------- amp
     def single_gpu_time(self, layer_id: int) -> float:

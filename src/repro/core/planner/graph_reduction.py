@@ -28,14 +28,14 @@ Implementation outline
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from ...models.graph import GraphValidationError, ModelGraph
 from .costs import PlannerCostModel
-from .linear_search import ChainSolution, solve_chain
+from .linear_search import solve_chain
 from .plan import LayerAssignment
 
 __all__ = ["LayerNode", "BlockNode", "build_chain_nodes"]

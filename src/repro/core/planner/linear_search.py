@@ -24,7 +24,7 @@ branch/join *blocks* whose transition cost already encodes the branches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence
 
 from .plan import LayerAssignment
 
@@ -76,6 +76,9 @@ class ChainSolution:
     s_table: List[Dict[int, float]] = field(default_factory=list)
     #: Full T table (node index -> {gpus: stage time on the shortest path}).
     t_table: List[Dict[int, float]] = field(default_factory=list)
+    #: Number of (node, g, h) relaxations evaluated — a deterministic measure
+    #: of search work, independent of wall-clock speed.
+    relaxations: int = 0
 
     def gpus_per_node(self) -> List[int]:
         return [d.num_gpus for d in self.decisions]
@@ -135,30 +138,42 @@ def solve_chain(
     parent: List[Dict[int, int]] = [dict() for _ in range(num_nodes)]
     trans_table: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
 
+    # Candidate lists are invariant across the DP, so materialize each node's
+    # list exactly once instead of re-allocating it in the inner loop.
+    all_candidates: List[List[int]] = []
     for i, node in enumerate(nodes):
         candidates = list(node.candidate_gpus())
         if not candidates:
             raise ValueError(f"chain node {i} has no candidate GPU counts")
+        all_candidates.append(candidates)
+
+    relaxations = 0
+    inf = float("inf")
+    for i, node in enumerate(nodes):
         if i == 0:
             prev_candidates = entry_gpus
             prev_exit = entry_exit_layer
+            prev_amp_row = None
+            prev_s_row = base_s
         else:
-            prev_candidates = list(nodes[i - 1].candidate_gpus())
+            prev_candidates = all_candidates[i - 1]
             prev_exit = nodes[i - 1].exit_layer_id
+            prev_amp_row = amp_table[i - 1]
+            prev_s_row = s_table[i - 1]
+        s_row, t_row = s_table[i], t_table[i]
+        trans_row, parent_row, amp_row = trans_table[i], parent[i], amp_table[i]
+        transition_cost = node.transition_cost
 
-        for g in candidates:
-            best_amp = float("inf")
-            best_s = float("inf")
-            best_t = float("inf")
+        for g in all_candidates[i]:
+            best_amp = inf
+            best_s = inf
+            best_t = inf
             best_parent = prev_candidates[0]
             for h in prev_candidates:
-                if i == 0:
-                    prev_amp = 0.0
-                    prev_s = base_s[h]
-                else:
-                    prev_amp = amp_table[i - 1][h]
-                    prev_s = s_table[i - 1][h]
-                trans = node.transition_cost(prev_exit, h, g)
+                prev_amp = prev_amp_row[h] if prev_amp_row is not None else 0.0
+                prev_s = prev_s_row[h]
+                trans = transition_cost(prev_exit, h, g)
+                relaxations += 1
                 # Paper's filter: accept a predecessor if its amplification is
                 # within the limit (or no better-amplified predecessor has
                 # been found yet) and it improves the completion time.
@@ -168,11 +183,11 @@ def solve_chain(
                     best_amp = min(best_amp, prev_amp)
                     best_parent = h
             stage = node.node_cost(g)
-            s_table[i][g] = best_s + stage
-            t_table[i][g] = best_t + stage
-            trans_table[i][g] = best_t
-            parent[i][g] = best_parent
-            amp_table[i][g] = _amplification(node, g, t_table[i][g])
+            s_row[g] = best_s + stage
+            t_row[g] = best_t + stage
+            trans_row[g] = best_t
+            parent_row[g] = best_parent
+            amp_row[g] = _amplification(node, g, t_row[g])
 
     # Final selection: the cheapest terminal configuration whose own
     # amplification respects the limit, falling back to the overall cheapest
@@ -203,4 +218,5 @@ def solve_chain(
         total_time=s_table[last][final_g],
         s_table=s_table,
         t_table=t_table,
+        relaxations=relaxations,
     )

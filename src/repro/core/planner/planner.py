@@ -18,8 +18,9 @@ Two reference plans are also provided:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Tuple
 
 from ...models.graph import ModelGraph
 from ...network.fabric import NetworkFabric
@@ -68,6 +69,41 @@ class BurstParallelPlanner:
         self.fabric = fabric
         self.profiler = profiler if profiler is not None else LayerProfiler()
         self.config = config if config is not None else PlannerConfig()
+        # Cost models are pure functions of (graph, global batch) for a fixed
+        # fabric/profiler, so one planner reuses them across plan() calls:
+        # planning the same model at several GPU budgets (the grid benchmark,
+        # the scheduler's re-planning) hits warm comp/sync/comm caches instead
+        # of re-deriving every layer cost from scratch.  Keying by object id
+        # is safe while an entry lives, because the cost model keeps its graph
+        # alive; LRU eviction bounds the cache for planners fed an unbounded
+        # stream of distinct graphs.
+        self._cost_models: "OrderedDict[Tuple[int, int], PlannerCostModel]" = (
+            OrderedDict()
+        )
+
+    #: Distinct (graph, global batch) cost models kept warm per planner.
+    _COST_MODEL_CACHE_SIZE = 32
+
+    def _cost_model(self, graph: ModelGraph, global_batch: int) -> PlannerCostModel:
+        key = (id(graph), global_batch)
+        costs = self._cost_models.get(key)
+        if costs is None or costs.graph is not graph:
+            costs = PlannerCostModel(
+                graph=graph,
+                global_batch=global_batch,
+                fabric=self.fabric,
+                profiler=self.profiler,
+            )
+            self._cost_models[key] = costs
+            if len(self._cost_models) > self._COST_MODEL_CACHE_SIZE:
+                self._cost_models.popitem(last=False)
+        self._cost_models.move_to_end(key)
+        return costs
+
+    def clear_caches(self) -> None:
+        """Drop memoized cost models (and the profiler's timing memo)."""
+        self._cost_models.clear()
+        self.profiler.clear_cache()
 
     # ------------------------------------------------------------------ plans
     def plan(
@@ -86,12 +122,7 @@ class BurstParallelPlanner:
         if amp_limit < 1.0:
             raise ValueError("amplification_limit must be at least 1.0")
         start = time.perf_counter()
-        costs = PlannerCostModel(
-            graph=graph,
-            global_batch=global_batch,
-            fabric=self.fabric,
-            profiler=self.profiler,
-        )
+        costs = self._cost_model(graph, global_batch)
         candidates = candidate_gpu_counts(
             total_gpus, global_batch, self.config.powers_of_two_only
         )
@@ -127,12 +158,7 @@ class BurstParallelPlanner:
     ) -> TrainingPlan:
         """The conventional data-parallel baseline: every layer on all GPUs."""
         start = time.perf_counter()
-        costs = PlannerCostModel(
-            graph=graph,
-            global_batch=global_batch,
-            fabric=self.fabric,
-            profiler=self.profiler,
-        )
+        costs = self._cost_model(graph, global_batch)
         width = min(total_gpus, global_batch)
         assignments = []
         for lid in graph.layer_ids():

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = ["Kernel", "LaunchOp", "TaskWorkload", "split_into_graphs"]
 

@@ -10,8 +10,7 @@ multiplexing study (Figures 11 and 12).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..models.graph import ModelGraph
 from ..network.collectives import CollectiveCostModel, DEFAULT_BUCKET_BYTES

@@ -17,7 +17,7 @@ PyTorch module description rather than embedding device costs in the model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -113,6 +113,14 @@ class ModelGraph:
         self._g = nx.DiGraph()
         self._specs: Dict[int, LayerSpec] = {}
         self._next_id = 0
+        # Topology memos.  The planner's graph reduction asks for the
+        # topological order and path subgraphs thousands of times per search;
+        # the answers only change when a layer is added, so they are cached
+        # here and invalidated by add_layer.  Accessors return copies so a
+        # caller mutating its result cannot corrupt the memo.
+        self._topo_cache: Optional[List[int]] = None
+        self._edges_cache: Optional[List[Tuple[int, int]]] = None
+        self._between_cache: Dict[Tuple[int, int], List[int]] = {}
 
     # ------------------------------------------------------------------ build
     def add_layer(self, spec: LayerSpec, inputs: Sequence[int] = ()) -> int:
@@ -128,6 +136,9 @@ class ModelGraph:
         self._g.add_node(lid)
         for src in inputs:
             self._g.add_edge(src, lid)
+        self._topo_cache = None
+        self._edges_cache = None
+        self._between_cache.clear()
         return lid
 
     # ---------------------------------------------------------------- queries
@@ -166,7 +177,9 @@ class ModelGraph:
 
     def topological_order(self) -> List[int]:
         """Layer ids in a deterministic topological order (by id)."""
-        return list(nx.lexicographical_topological_sort(self._g))
+        if self._topo_cache is None:
+            self._topo_cache = list(nx.lexicographical_topological_sort(self._g))
+        return list(self._topo_cache)
 
     def source(self) -> int:
         """The unique source layer (usually the ``input`` pseudo-layer)."""
@@ -256,14 +269,20 @@ class ModelGraph:
         """Layer ids on any path from ``start`` to ``end`` (inclusive)."""
         if start == end:
             return [start]
-        descendants = nx.descendants(self._g, start) | {start}
-        ancestors = nx.ancestors(self._g, end) | {end}
-        nodes = descendants & ancestors
-        order = [n for n in self.topological_order() if n in nodes]
-        return order
+        key = (start, end)
+        cached = self._between_cache.get(key)
+        if cached is None:
+            descendants = nx.descendants(self._g, start) | {start}
+            ancestors = nx.ancestors(self._g, end) | {end}
+            nodes = descendants & ancestors
+            cached = [n for n in self.topological_order() if n in nodes]
+            self._between_cache[key] = cached
+        return list(cached)
 
     def edges(self) -> List[Tuple[int, int]]:
-        return sorted(self._g.edges())
+        if self._edges_cache is None:
+            self._edges_cache = sorted(self._g.edges())
+        return list(self._edges_cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

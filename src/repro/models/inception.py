@@ -14,7 +14,7 @@ fully connected classifier.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from .graph import ModelGraph
 from .layers import GraphBuilder

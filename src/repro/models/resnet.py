@@ -12,7 +12,7 @@ exercise the planner's graph-reduction path.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from .graph import ModelGraph
 from .layers import GraphBuilder

@@ -22,7 +22,6 @@ which has exactly the properties the figures rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
 
 __all__ = ["SampleEfficiencyModel", "VGG11_ERROR_035", "RESNET50_IMAGENET"]
 

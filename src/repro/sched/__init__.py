@@ -16,7 +16,7 @@ Public API:
 * :mod:`~repro.sched.events` — the :class:`EventQueue` primitives.
 """
 
-from .events import Event, EventKind, EventQueue
+from .events import Event, EventKind, EventQueue, GpuPool
 from .metrics import FleetMetrics, JobRecord, percentile
 from .policies import (
     POLICIES,
@@ -34,6 +34,7 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "GpuPool",
     "FleetMetrics",
     "JobRecord",
     "percentile",

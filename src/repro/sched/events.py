@@ -8,6 +8,13 @@ by ``(time, seq)`` so simultaneous events resolve deterministically in
 insertion order, which keeps whole simulations reproducible under a fixed
 trace seed.
 
+Both containers here obey strict heap discipline: all mutations are
+``heappush``/``heappop`` (O(log n)), never sort-on-insert.  Events implement
+``__lt__`` on ``(time, seq)`` and are stored in the heap directly, avoiding a
+wrapper-tuple allocation per push.  :class:`GpuPool` applies the same
+discipline to the cluster's free-GPU set, which the scheduler previously
+re-sorted on every placement.
+
 Finish events are *lazily invalidated*: re-planning or preempting a job bumps
 the job's version counter instead of searching the heap, and stale events are
 discarded when popped.  This keeps re-planning O(log n) per change.
@@ -19,9 +26,9 @@ import heapq
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = ["EventKind", "Event", "EventQueue", "GpuPool"]
 
 
 class EventKind(str, Enum):
@@ -57,13 +64,26 @@ class Event:
     job_name: str
     version: int = 0
 
+    def __lt__(self, other: "Event") -> bool:
+        # seq is unique per queue, so (time, seq) is a strict total order.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
 
 class EventQueue:
-    """Min-heap of events ordered by ``(time, seq)``."""
+    """Min-heap of events ordered by ``(time, seq)``.
+
+    The queue counts its pushes and pops; ``popped`` is the number of events
+    the simulation actually processed — a deterministic op count the
+    benchmark harness reports for scheduler scenarios.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self.pushed = 0
+        self.popped = 0
 
     def push(
         self, time: float, kind: EventKind, job_name: str, version: int = 0
@@ -78,18 +98,54 @@ class EventQueue:
             job_name=job_name,
             version=version,
         )
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        heapq.heappush(self._heap, event)
+        self.pushed += 1
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("pop from an empty EventQueue")
-        return heapq.heappop(self._heap)[2]
+        self.popped += 1
+        return heapq.heappop(self._heap)
 
     def peek_time(self) -> Optional[float]:
         """Firing time of the earliest event, or ``None`` when empty."""
-        return self._heap[0][0] if self._heap else None
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class GpuPool:
+    """The cluster's free GPUs, kept as a min-heap of device ids.
+
+    Placements always take the lowest-numbered free GPUs (which keeps runs
+    deterministic), so the pool is exactly a priority queue: ``take`` pops
+    ``count`` ids in O(count · log n) and ``release`` pushes each freed id
+    back in O(log n) — replacing the previous list that was re-sorted on
+    every take.
+    """
+
+    def __init__(self, gpu_ids: Iterable[int] = ()) -> None:
+        self._heap = list(gpu_ids)
+        heapq.heapify(self._heap)
+
+    def take(self, count: int) -> List[int]:
+        """Remove and return the ``count`` lowest free GPU ids."""
+        if count > len(self._heap):
+            raise ValueError(
+                f"cannot take {count} GPUs from a pool of {len(self._heap)}"
+            )
+        return [heapq.heappop(self._heap) for _ in range(count)]
+
+    def release(self, gpu_ids: Iterable[int]) -> None:
+        """Return GPUs to the pool."""
+        for gpu_id in gpu_ids:
+            heapq.heappush(self._heap, gpu_id)
 
     def __len__(self) -> int:
         return len(self._heap)

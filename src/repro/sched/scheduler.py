@@ -32,19 +32,18 @@ produce bit-identical :class:`~repro.sched.metrics.FleetMetrics`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.coordinator import ClusterCoordinator
 from ..cluster.executor import CollocationProfile
-from ..cluster.job import JobKind
 from ..core.planner.plan import TrainingPlan
 from ..core.planner.planner import BurstParallelPlanner
 from ..models.graph import ModelGraph
 from ..models.registry import build_model
 from ..network.fabric import NetworkFabric, get_fabric
 from ..profiler.layer_profiler import LayerProfiler
-from .events import EventKind, EventQueue
+from .events import EventKind, EventQueue, GpuPool
 from .metrics import FleetMetrics, JobRecord
 from .policies import SchedulingPolicy, floor_pow2, get_policy
 from .traces import TraceJob
@@ -129,6 +128,10 @@ class ScheduleResult:
     num_gpus: int
     records: Tuple[JobRecord, ...]
     metrics: FleetMetrics
+    #: Events the simulation processed (arrivals, finishes, and stale
+    #: finishes discarded by lazy invalidation) — the run's deterministic
+    #: op count, reported by the benchmark harness.
+    events_processed: int = 0
 
     def record(self, name: str) -> JobRecord:
         for r in self.records:
@@ -228,7 +231,7 @@ class ClusterScheduler:
         for job in trace:
             queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.name)
 
-        free: List[int] = list(range(self.num_gpus))
+        free = GpuPool(range(self.num_gpus))
         pending: List[_JobState] = []
         records: List[JobRecord] = []
         first_arrival = min(job.arrival_time for job in trace)
@@ -266,6 +269,7 @@ class ClusterScheduler:
             num_gpus=self.num_gpus,
             records=tuple(records),
             metrics=metrics,
+            events_processed=queue.popped,
         )
 
     # ---------------------------------------------------------------- progress
@@ -309,11 +313,6 @@ class ClusterScheduler:
         queue.push(finish, EventKind.JOB_FINISH, state.name, state.version)
 
     # --------------------------------------------------------------- placement
-    def _take_gpus(self, free: List[int], count: int) -> List[int]:
-        free.sort()
-        taken, free[:] = free[:count], free[count:]
-        return taken
-
     def _install_plan(self, state: _JobState, plan: TrainingPlan) -> None:
         """Bind a burst-parallel plan (and its per-GPU occupancy) to a job."""
         coordinator = ClusterCoordinator(num_gpus=plan.total_gpus)
@@ -325,11 +324,11 @@ class ClusterScheduler:
         state.width = plan.total_gpus
 
     def _start_foreground(
-        self, state: _JobState, width: int, now: float, free: List[int],
+        self, state: _JobState, width: int, now: float, free: GpuPool,
         queue: EventQueue,
     ) -> None:
         self._install_plan(state, self._plan_for(state, width))
-        state.gpu_ids = self._take_gpus(free, width)
+        state.gpu_ids = free.take(width)
         state.hosted = {}
         state.status = _RUNNING
         if state.start_time is None:
@@ -338,10 +337,10 @@ class ClusterScheduler:
         self._reschedule_finish(state, now, queue)
 
     def _start_background_dedicated(
-        self, state: _JobState, now: float, free: List[int], queue: EventQueue
+        self, state: _JobState, now: float, free: GpuPool, queue: EventQueue
     ) -> None:
         state.width = 1
-        state.gpu_ids = self._take_gpus(free, 1)
+        state.gpu_ids = free.take(1)
         state.host = None
         state.work_per_iteration = state.iso_iter_time
         state.status = _RUNNING
@@ -414,12 +413,12 @@ class ClusterScheduler:
         pending.append(state)
 
     def _preempt_background(
-        self, state: _JobState, now: float, free: List[int],
+        self, state: _JobState, now: float, free: GpuPool,
         pending: List[_JobState],
     ) -> None:
         """Evict a dedicated background job, keeping its progress."""
         self._advance(state, now)
-        free.extend(state.gpu_ids)
+        free.release(state.gpu_ids)
         state.gpu_ids = []
         state.status = _PENDING
         state.version += 1
@@ -428,7 +427,7 @@ class ClusterScheduler:
 
     # --------------------------------------------------------------- completion
     def _finish(
-        self, state: _JobState, now: float, free: List[int],
+        self, state: _JobState, now: float, free: GpuPool,
         pending: List[_JobState], queue: EventQueue, records: List[JobRecord],
     ) -> None:
         self._advance(state, now)
@@ -444,7 +443,7 @@ class ClusterScheduler:
                 self._advance(host, now)
                 self._reschedule_finish(host, now, queue)
         else:
-            free.extend(state.gpu_ids)
+            free.release(state.gpu_ids)
         state.gpu_ids = []
         if state.is_foreground:
             # Orphaned guests go back to the queue and are re-placed below.
@@ -472,7 +471,7 @@ class ClusterScheduler:
 
     # -------------------------------------------------------------- scheduling
     def _schedule_pending(
-        self, now: float, pending: List[_JobState], free: List[int],
+        self, now: float, pending: List[_JobState], free: GpuPool,
         policy: SchedulingPolicy, queue: EventQueue,
     ) -> None:
         """Place pending jobs until the policy makes no further progress."""
@@ -506,7 +505,7 @@ class ClusterScheduler:
                 pending.remove(state)
 
     def _preempt_for(
-        self, desired: int, now: float, free: List[int],
+        self, desired: int, now: float, free: GpuPool,
         pending: List[_JobState],
     ) -> None:
         """Evict the fewest dedicated background jobs that widen a placement.
@@ -532,7 +531,7 @@ class ClusterScheduler:
             self._preempt_background(victim, now, free, pending)
 
     def _place_background(
-        self, state: _JobState, now: float, free: List[int],
+        self, state: _JobState, now: float, free: GpuPool,
         policy: SchedulingPolicy, queue: EventQueue,
     ) -> bool:
         # A whole free GPU always beats sharing one with a foreground job.
@@ -561,7 +560,7 @@ class ClusterScheduler:
         ]
 
     def _expand_running(
-        self, now: float, free: List[int], queue: EventQueue
+        self, now: float, free: GpuPool, queue: EventQueue
     ) -> None:
         """Re-plan running foreground jobs onto freed GPUs (widest win first)."""
         while free:
@@ -598,11 +597,11 @@ class ClusterScheduler:
 
     def _replan(
         self, state: _JobState, plan: TrainingPlan, new_width: int, now: float,
-        free: List[int], queue: EventQueue,
+        free: GpuPool, queue: EventQueue,
     ) -> None:
         """Move a running foreground job to a wider plan, keeping progress."""
         self._advance(state, now)
-        extra = self._take_gpus(free, new_width - state.width)
+        extra = free.take(new_width - state.width)
         state.gpu_ids = state.gpu_ids + extra
         self._install_plan(state, plan)
         state.replans += 1

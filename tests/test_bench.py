@@ -1,0 +1,297 @@
+"""Tests for the repro.bench performance harness."""
+
+import json
+import time
+
+import pytest
+
+from repro.bench import (
+    BenchArtifact,
+    artifact_filename,
+    compare_artifacts,
+    grid_jobs,
+    load_artifacts,
+    run_jobs,
+    run_scenario,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.bench.harness import available_scenarios, get_scenario
+from repro.bench.sweep import SweepJob
+from repro.models import vgg16
+from repro.profiler import LayerProfiler
+
+#: Small parameterizations so the suite stays fast.
+SMALL_GRID = {"models": ["vgg11"], "gpu_counts": [1, 2, 4]}
+SMALL_SCHED = {"num_gpus": 8, "num_jobs": 12, "seed": 3}
+SMALL_MATRIX = {"sim_time": 0.01}
+SMALL_PARAMS = {
+    "planner_grid": SMALL_GRID,
+    "sched_sim": SMALL_SCHED,
+    "collocation_matrix": SMALL_MATRIX,
+}
+
+
+def _artifact(name, **kwargs):
+    defaults = dict(
+        name=name,
+        params={"x": 1},
+        ops=100,
+        wall_time_s=1.0,
+        wall_times_s=(1.0,),
+        metrics={"m": 2.0},
+        git_sha="abc",
+    )
+    defaults.update(kwargs)
+    return BenchArtifact(**defaults)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = available_scenarios()
+        assert {"planner_grid", "sched_sim", "collocation_matrix"} <= set(names)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            get_scenario("not_a_scenario")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            run_scenario("sched_sim", overrides={"bogus_param": 1})
+
+    def test_scalar_override_of_sequence_param_is_wrapped(self):
+        """`--param models=vgg11` must mean [\"vgg11\"], not iterate chars."""
+        artifact = run_scenario(
+            "planner_grid", overrides={"models": "vgg11", "gpu_counts": 2}
+        )
+        assert artifact.params["models"] == ["vgg11"]
+        assert artifact.params["gpu_counts"] == [2]
+        assert artifact.ops > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_same_params_same_ops_and_metrics(self, name):
+        first = run_scenario(name, overrides=SMALL_PARAMS[name])
+        second = run_scenario(name, overrides=SMALL_PARAMS[name])
+        assert first.ops == second.ops
+        assert first.ops > 0
+        assert first.metrics == second.metrics
+
+    def test_repeats_share_one_ops_count(self):
+        artifact = run_scenario("sched_sim", overrides=SMALL_SCHED, repeats=2)
+        assert len(artifact.wall_times_s) == 2
+        assert artifact.wall_time_s == min(artifact.wall_times_s)
+
+
+class TestArtifactIO:
+    def test_round_trip(self, tmp_path):
+        artifact = run_scenario("planner_grid", overrides=SMALL_GRID)
+        path = artifact.write(tmp_path)
+        assert path.name == artifact_filename("planner_grid")
+        loaded = BenchArtifact.read(path)
+        assert loaded == artifact
+
+    def test_json_is_sorted_and_versioned(self, tmp_path):
+        path = _artifact("x").write(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert list(data) == sorted(data)
+
+    def test_load_artifacts_from_directory(self, tmp_path):
+        _artifact("a").write(tmp_path)
+        _artifact("b").write(tmp_path)
+        loaded = load_artifacts(tmp_path)
+        assert sorted(loaded) == ["a", "b"]
+
+    def test_load_artifacts_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_artifacts(tmp_path / "nope")
+
+
+class TestCompare:
+    def test_identical_sets_pass(self):
+        base = {"s": _artifact("s")}
+        assert compare_artifacts(base, {"s": _artifact("s")}).ok
+
+    def test_time_regression_beyond_threshold_fails(self):
+        base = {"s": _artifact("s")}
+        slow = {"s": _artifact("s", wall_time_s=1.11, wall_times_s=(1.11,))}
+        comparison = compare_artifacts(base, slow, max_time_regress_pct=10.0)
+        assert not comparison.ok
+        assert "wall time regressed" in comparison.failures[0].reason
+
+    def test_time_regression_within_threshold_passes(self):
+        base = {"s": _artifact("s")}
+        ok = {"s": _artifact("s", wall_time_s=1.05, wall_times_s=(1.05,))}
+        assert compare_artifacts(base, ok, max_time_regress_pct=10.0).ok
+
+    def test_ignore_time_skips_wall_clock(self):
+        base = {"s": _artifact("s")}
+        slow = {"s": _artifact("s", wall_time_s=9.9, wall_times_s=(9.9,))}
+        assert compare_artifacts(base, slow, ignore_time=True).ok
+
+    def test_ops_change_fails_even_when_faster(self):
+        base = {"s": _artifact("s")}
+        drift = {"s": _artifact("s", ops=99, wall_time_s=0.5, wall_times_s=(0.5,))}
+        comparison = compare_artifacts(base, drift, ignore_time=True)
+        assert not comparison.ok
+        assert "op count changed" in comparison.failures[0].reason
+
+    def test_metric_fingerprint_change_fails(self):
+        base = {"s": _artifact("s")}
+        drift = {"s": _artifact("s", metrics={"m": 2.5})}
+        comparison = compare_artifacts(base, drift, ignore_time=True)
+        assert not comparison.ok
+        assert "fingerprint" in comparison.failures[0].reason
+
+    def test_metric_check_survives_nonzero_ops_tolerance(self):
+        """Relaxing op tolerance must not disable the fingerprint gate."""
+        base = {"s": _artifact("s")}
+        drift = {"s": _artifact("s", metrics={"m": 20.0})}  # 10x drift
+        comparison = compare_artifacts(
+            base, drift, ops_tolerance_pct=1.0, ignore_time=True
+        )
+        assert not comparison.ok
+        assert "fingerprint" in comparison.failures[0].reason
+        # Drift within the tolerance still passes.
+        small = {"s": _artifact("s", metrics={"m": 2.0 * 1.005})}
+        assert compare_artifacts(
+            base, small, ops_tolerance_pct=1.0, ignore_time=True
+        ).ok
+
+    def test_missing_scenario_fails_new_scenario_passes(self):
+        base = {"s": _artifact("s")}
+        current = {"t": _artifact("t")}
+        comparison = compare_artifacts(base, current, ignore_time=True)
+        assert not comparison.ok
+        reasons = {row.name: row for row in comparison.rows}
+        assert not reasons["s"].ok
+        assert reasons["t"].ok
+
+    def test_param_mismatch_fails(self):
+        base = {"s": _artifact("s")}
+        other = {"s": _artifact("s", params={"x": 2})}
+        assert not compare_artifacts(base, other, ignore_time=True).ok
+
+
+class TestSweep:
+    def test_grid_jobs_unique_names(self):
+        jobs = grid_jobs("sched_sim", {"num_gpus": [8, 16], "seed": [1, 2]})
+        names = [j.artifact_name for j in jobs]
+        assert len(jobs) == 4
+        assert len(set(names)) == 4
+        assert all(n.startswith("sched_sim--") for n in names)
+
+    def test_run_jobs_serial_matches_multiprocess(self):
+        jobs = [
+            SweepJob("sched_sim", overrides=dict(SMALL_SCHED, seed=s),
+                     artifact_name=f"sched_sim--seed-{s}")
+            for s in (1, 2)
+        ]
+        serial = run_jobs(jobs, processes=1)
+        parallel = run_jobs(jobs, processes=2)
+        assert [a.ops for a in serial] == [a.ops for a in parallel]
+        assert [a.metrics for a in serial] == [a.metrics for a in parallel]
+
+
+class TestCLI:
+    def test_run_and_compare_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "run1"
+        argv = ["run", "sched_sim", "--out", str(out)]
+        for key, value in SMALL_SCHED.items():
+            argv += ["--param", f"{key}={value}"]
+        assert bench_main(argv) == 0
+        assert (out / artifact_filename("sched_sim")).exists()
+        assert bench_main(
+            ["compare", str(out), str(out), "--ignore-time"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
+        """Acceptance: an injected >10% wall-time regression gates the PR."""
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _artifact("s").write(base)
+        _artifact(
+            "s", wall_time_s=1.2, wall_times_s=(1.2,)
+        ).write(cur)  # +20% > the 10% default threshold
+        assert bench_main(["compare", str(base), str(cur)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_requires_scenario_or_all(self):
+        with pytest.raises(SystemExit):
+            bench_main(["run"])
+
+    def test_multi_scenario_run_applies_params_where_they_fit(self, tmp_path):
+        """A --param only some scenarios take must not abort the run."""
+        argv = [
+            "run", "planner_grid", "sched_sim", "--out", str(tmp_path),
+            "--param", "models=vgg11", "--param", "gpu_counts=1,2",
+            "--param", "num_gpus=8", "--param", "num_jobs=10",
+            "--param", "seed=3",
+        ]
+        assert bench_main(argv) == 0
+        assert (tmp_path / artifact_filename("planner_grid")).exists()
+        assert (tmp_path / artifact_filename("sched_sim")).exists()
+
+    def test_param_unknown_to_every_scenario_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(
+                ["run", "planner_grid", "sched_sim", "--out", str(tmp_path),
+                 "--param", "definitely_bogus=1"]
+            )
+
+    def test_list_prints_scenarios(self, capsys):
+        assert bench_main(["list"]) == 0
+        assert "planner_grid" in capsys.readouterr().out
+
+
+class TestCachedProfileSpeedup:
+    """The planner-grid speedup the harness was built to prove."""
+
+    def test_caching_reduces_profile_computations(self):
+        """Deterministic core of the speedup: fewer timings are computed."""
+        cached = run_scenario(
+            "planner_grid", overrides=dict(SMALL_GRID, cached=True)
+        )
+        uncached = run_scenario(
+            "planner_grid", overrides=dict(SMALL_GRID, cached=False)
+        )
+        # Identical query pattern, strictly less recomputation.
+        assert cached.metrics["plans"] == uncached.metrics["plans"]
+        assert (
+            cached.metrics["profile_computations"]
+            < uncached.metrics["profile_computations"]
+        )
+
+    def test_warm_profile_lookups_beat_cold_computation(self):
+        """Wall-clock: repeated layer-timing queries hit the memo table."""
+        profiler = LayerProfiler()
+        graph = vgg16()
+        queries = [
+            (spec, batch) for spec in graph.specs() for batch in (1, 2, 4, 8, 16, 32)
+        ]
+        start = time.perf_counter()
+        for spec, batch in queries:
+            profiler.layer_timing(spec, batch)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        for spec, batch in queries:
+            profiler.layer_timing(spec, batch)
+        warm = time.perf_counter() - start
+        assert profiler.cache_stats.hits >= len(queries)
+        # Lookups are ~10x cheaper than kernel-model math; 0.8 margins the
+        # assertion against scheduler noise on busy CI runners.
+        assert warm < cold * 0.8
+
+    def test_grid_scenario_not_slower_with_caches(self):
+        """End-to-end guard: the cached grid never loses to the cold path."""
+        overrides = {"models": ["resnet50"], "gpu_counts": [1, 2, 4, 8]}
+        cached = run_scenario(
+            "planner_grid", overrides=dict(overrides, cached=True), repeats=2
+        )
+        uncached = run_scenario(
+            "planner_grid", overrides=dict(overrides, cached=False), repeats=2
+        )
+        # Generous margin: the win is ~10% locally, but CI machines are noisy.
+        assert cached.wall_time_s <= uncached.wall_time_s * 1.2

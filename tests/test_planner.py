@@ -9,7 +9,7 @@ from repro.core.planner import (
     candidate_gpu_counts,
     build_chain_nodes,
 )
-from repro.models import build_model, inception_v3, resnet50, vgg16
+from repro.models import inception_v3, resnet50, vgg16
 from repro.network import get_fabric
 from repro.profiler import LayerProfiler
 

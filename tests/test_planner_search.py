@@ -1,7 +1,7 @@
 """Tests for Algorithm 1 (the chain dynamic program) on synthetic chains."""
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 import pytest
 
@@ -89,6 +89,13 @@ class TestSolveChain:
         widths = solution.gpus_per_node()
         assert widths[0] == 8  # scalable layer bursts
         assert widths[1] == 1  # flat layer stays narrow
+
+    def test_relaxation_count_matches_search_space(self):
+        """relaxations = sum over nodes of |candidates| x |prev candidates|."""
+        nodes = [scalable_node("a"), scalable_node("b")]
+        solution = solve_chain(nodes, amp_limit=8.0)
+        # Node 0: 4 candidates x 1 entry width; node 1: 4 x 4 predecessors.
+        assert solution.relaxations == 4 * 1 + 4 * 4
 
     def test_transition_cost_discourages_frequent_width_changes(self):
         # Alternating scalable/flat layers with a huge transition cost: the

@@ -59,6 +59,15 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             EventQueue().push(-1.0, EventKind.JOB_ARRIVAL, "a")
 
+    def test_push_pop_counters(self):
+        """The counters feed the bench harness's scheduler op counts."""
+        queue = EventQueue()
+        for t in (2.0, 1.0, 3.0):
+            queue.push(t, EventKind.JOB_ARRIVAL, "a")
+        queue.pop()
+        assert queue.pushed == 3
+        assert queue.popped == 1
+
 
 # ---------------------------------------------------------------------------
 # Traces
