@@ -21,7 +21,10 @@ organised as:
   per-figure entry points used by the benchmark harnesses;
 * ``repro.bench`` — the performance harness: named scenarios, deterministic
   ``BENCH_*.json`` artifacts, and the CI regression gate
-  (``python -m repro.bench``).
+  (``python -m repro.bench``);
+* ``repro.cache`` — the persistent content-addressed artifact cache shared
+  by the profiler, the planner, and the benchmark harness across processes
+  and CI runs.
 """
 
 from .core.planner import BurstParallelPlanner, PlannerConfig, TrainingPlan

@@ -16,7 +16,10 @@ Public API:
 * :func:`~repro.bench.sweep.run_jobs` / :func:`~repro.bench.sweep.grid_jobs`
   — the multiprocess sweep driver.
 
-Command line: ``python -m repro.bench run --all``, ``... compare A B``.
+Command line: ``python -m repro.bench run --all``, ``... compare A B``;
+``run``/``sweep`` take ``--cache-dir`` (persistent artifact cache) and
+``run`` takes ``--filter`` (glob scenario subset); ``compare`` takes
+``--write-baselines`` to refresh the committed baseline in one step.
 """
 
 from .artifact import (

@@ -6,19 +6,26 @@ Subcommands
     Show registered scenarios, their descriptions and default parameters.
 ``run``
     Run scenarios (``--all`` or by name) and write ``BENCH_<name>.json``
-    artifacts.  ``--param k=v`` overrides scenario parameters; ``--processes``
-    fans independent scenarios out across cores.
+    artifacts.  ``--param k=v`` overrides scenario parameters; ``--filter``
+    narrows the selection by glob; ``--cache-dir`` points cache-aware
+    scenarios at a persistent artifact cache; ``--processes`` fans
+    independent scenarios out across cores.
 ``sweep``
     Run one scenario over a parameter grid (``--grid k=v1,v2 ...``), one
-    artifact per combination, optionally multiprocessed.
+    artifact per combination, optionally multiprocessed (``--cache-dir``
+    lets all workers share one persistent cache instead of re-deriving
+    per process).
 ``compare``
     Diff a current artifact set against a baseline (files or directories) and
-    exit nonzero on regression — the CI gate.
+    exit nonzero on regression — the CI gate.  ``--write-baselines`` copies
+    the current artifacts over the baseline in the same step (after an
+    intentional performance change).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -67,10 +74,28 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def _write_and_report(artifacts, out_dir) -> None:
     for artifact in artifacts:
         path = artifact.write(out_dir)
-        print(
+        line = (
             f"{artifact.name}: ops={artifact.ops} "
-            f"wall={artifact.wall_time_s:.3f}s -> {path}"
+            f"wall={artifact.wall_time_s:.3f}s"
         )
+        if artifact.info.get("persistent_cache"):
+            line += (
+                f" cache[{artifact.info.get('cache_hits', 0)} hit"
+                f"/{artifact.info.get('cache_misses', 0)} miss"
+                f"/{artifact.info.get('cache_writes', 0)} write]"
+            )
+        print(f"{line} -> {path}")
+
+
+def _apply_filter(names: List[str], pattern: Optional[str]) -> List[str]:
+    if pattern is None:
+        return names
+    selected = [name for name in names if fnmatch.fnmatch(name, pattern)]
+    if not selected:
+        raise SystemExit(
+            f"--filter {pattern!r} matches none of: {', '.join(names)}"
+        )
+    return selected
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -80,7 +105,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         names = list(args.scenarios)
     else:
         raise SystemExit("run: give scenario names or --all")
+    names = _apply_filter(names, args.filter)
     overrides = _parse_overrides(args.param)
+    if args.cache_dir is not None:
+        if "cache_dir" in overrides:
+            raise SystemExit(
+                "give either --cache-dir or --param cache_dir=..., not both"
+            )
+        overrides["cache_dir"] = args.cache_dir
     # Each override applies to the scenarios that have that parameter, so
     # `run --all --param seed=7` works even though not every scenario takes a
     # seed.  A key no scenario accepts is still an error (likely a typo).
@@ -106,26 +138,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     grid = {k: v if isinstance(v, list) else [v]
             for k, v in _parse_overrides(args.grid).items()}
     defaults = get_scenario(args.scenario).default_params
+    fixed = {}
+    if args.cache_dir is not None:
+        if "cache_dir" not in defaults:
+            raise SystemExit(
+                f"scenario {args.scenario!r} does not take a cache_dir"
+            )
+        fixed["cache_dir"] = args.cache_dir
     unknown = sorted(set(grid) - set(defaults))
     if unknown:
         raise SystemExit(
             f"scenario {args.scenario!r} has no parameter(s): "
             f"{', '.join(unknown)}; available: {', '.join(sorted(defaults))}"
         )
-    jobs = grid_jobs(args.scenario, grid, repeats=args.repeats)
+    jobs = grid_jobs(args.scenario, grid, repeats=args.repeats, fixed=fixed)
     _write_and_report(run_jobs(jobs, processes=args.processes), args.out)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_artifacts(args.baseline)
+    current = load_artifacts(args.current)
     comparison = compare_artifacts(
-        load_artifacts(args.baseline),
-        load_artifacts(args.current),
+        baseline,
+        current,
         max_time_regress_pct=args.max_time_regress,
         ops_tolerance_pct=args.ops_tolerance,
         ignore_time=args.ignore_time,
     )
     print(format_report(comparison))
+    if args.write_baselines is not None:
+        # Declaring a new baseline (after an intentional performance change):
+        # copy every current artifact over the baseline set in one step.
+        for artifact in current.values():
+            path = artifact.write(args.write_baselines)
+            print(f"baseline <- {artifact.name} ({path})")
+        stale = sorted(set(baseline) - set(current))
+        if stale:
+            print(
+                "note: baseline scenarios not refreshed (absent from current "
+                f"run): {', '.join(stale)}"
+            )
+        return 0
     return 0 if comparison.ok else 1
 
 
@@ -153,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], metavar="K=V",
         help="override a scenario parameter (repeatable)",
     )
+    run_p.add_argument(
+        "--filter", default=None, metavar="GLOB",
+        help="only run scenarios whose name matches this glob",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent artifact cache for cache-aware scenarios",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="run one scenario over a parameter grid")
@@ -165,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--repeats", type=int, default=1, help="timing repeats")
     sweep_p.add_argument(
         "--processes", type=int, default=1, help="worker processes"
+    )
+    sweep_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent artifact cache shared by all sweep workers",
     )
     sweep_p.set_defaults(fn=_cmd_sweep)
 
@@ -184,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--ignore-time", action="store_true",
         help="skip wall-time checks (cross-machine comparisons)",
+    )
+    cmp_p.add_argument(
+        "--write-baselines", nargs="?", const="benchmarks/baselines",
+        default=None, metavar="DIR",
+        help="copy the current artifacts into the baseline directory "
+        "(default benchmarks/baselines) and exit 0 — declares a new baseline",
     )
     cmp_p.set_defaults(fn=_cmd_compare)
     return parser

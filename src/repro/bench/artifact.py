@@ -11,6 +11,9 @@ An artifact records one scenario run with a stable, versioned schema:
   should pass ``--ignore-time`` and rely on the op counts.
 * ``metrics`` — scenario-specific deterministic outputs (rounded to 9
   significant digits), acting as a result fingerprint;
+* ``info`` — *non-deterministic* diagnostics (persistent-cache hit/miss
+  counts, prewarmed-plan counts...).  Informational only: the regression
+  gate and the determinism checks ignore it;
 * ``git_sha`` — the commit the artifact was produced from.
 
 Artifacts are written with sorted keys and a fixed indent so re-running a
@@ -37,7 +40,10 @@ __all__ = [
 
 #: Bump when the artifact layout changes incompatibly; ``compare`` refuses to
 #: diff artifacts with mismatched schema versions.
-SCHEMA_VERSION = 1
+#: v2: added the non-gated ``info`` diagnostics block and environment
+#: parameters (``cache_dir``, ``planner_processes``) that ``compare``
+#: excludes from param matching.
+SCHEMA_VERSION = 2
 
 _ARTIFACT_PREFIX = "BENCH_"
 
@@ -99,6 +105,7 @@ class BenchArtifact:
     wall_time_s: float
     wall_times_s: Tuple[float, ...]
     metrics: Dict[str, float] = field(default_factory=dict)
+    info: Dict[str, Any] = field(default_factory=dict)
     git_sha: str = "unknown"
     schema_version: int = SCHEMA_VERSION
 
@@ -131,6 +138,7 @@ class BenchArtifact:
             "wall_time_s",
             "wall_times_s",
             "metrics",
+            "info",
             "git_sha",
             "schema_version",
         }

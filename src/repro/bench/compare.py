@@ -26,6 +26,17 @@ __all__ = ["ComparisonRow", "Comparison", "compare_artifacts", "format_report"]
 #: Default allowed wall-time regression, in percent.
 DEFAULT_MAX_TIME_REGRESS_PCT = 10.0
 
+#: Scenario parameters that describe the *execution environment* rather than
+#: the workload: where the persistent cache lives, how many planner workers
+#: warmed it.  Results are proven independent of them (the determinism
+#: regression tests), so a CI run pointing at its own cache directory still
+#: gates cleanly against a baseline recorded with none.
+ENVIRONMENT_PARAMS = frozenset({"cache_dir", "planner_processes"})
+
+
+def _workload_params(params: Dict[str, object]) -> Dict[str, object]:
+    return {k: v for k, v in params.items() if k not in ENVIRONMENT_PARAMS}
+
 
 @dataclass(frozen=True)
 class ComparisonRow:
@@ -105,7 +116,7 @@ def compare_artifacts(
                 )
             )
             continue
-        if base.params != cur.params:
+        if _workload_params(base.params) != _workload_params(cur.params):
             rows.append(
                 ComparisonRow(name, False, "scenario params differ; not comparable")
             )

@@ -32,13 +32,18 @@ class ScenarioResult:
     """What one scenario execution produced (everything but the timing).
 
     ``ops`` counts the work performed in scenario-specific units; it must be
-    a pure function of the scenario parameters.  ``metrics`` are additional
-    deterministic outputs; they are rounded to 9 significant digits and the
-    regression gate treats them as a result fingerprint.
+    a pure function of the scenario parameters — independent, in particular,
+    of persistent-cache state, so cold and warm runs fingerprint alike.
+    ``metrics`` are additional deterministic outputs; they are rounded to 9
+    significant digits and the regression gate treats them as a result
+    fingerprint.  ``info`` carries non-deterministic diagnostics (cache
+    hit/miss counts, worker counts...): it is recorded in the artifact but
+    excluded from the determinism check and the regression gate.
     """
 
     ops: int
     metrics: Dict[str, float] = field(default_factory=dict)
+    info: Dict[str, Any] = field(default_factory=dict)
 
     def rounded_metrics(self) -> Dict[str, float]:
         return {k: round_metric(v) for k, v in sorted(self.metrics.items())}
@@ -157,6 +162,9 @@ def run_scenario(
         wall_time_s=min(wall_times),
         wall_times_s=tuple(wall_times),
         metrics=reference.rounded_metrics(),
+        # Diagnostics from the first repeat (the cold one, when a persistent
+        # cache is in play — the interesting hit/miss picture).
+        info={k: _json_safe(v) for k, v in sorted(reference.info.items())},
         git_sha=current_git_sha(),
     )
 

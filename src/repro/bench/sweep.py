@@ -48,20 +48,31 @@ def grid_jobs(
     scenario: str,
     param_grid: Dict[str, Sequence[Any]],
     repeats: int = 1,
+    fixed: Optional[Dict[str, Any]] = None,
 ) -> List[SweepJob]:
     """One job per combination of the grid's parameter values.
 
     ``{"num_gpus": [64, 256], "policy": ["fifo", "collocation"]}`` yields four
     jobs named ``<scenario>--num_gpus-64--policy-fifo`` etc., so their
-    artifacts never collide on disk.
+    artifacts never collide on disk.  ``fixed`` overrides apply to every job
+    without entering the artifact name (environment knobs like ``cache_dir``);
+    a key cannot be both swept and fixed — the fixed value would silently
+    clobber the grid's while the names still claimed distinct values.
     """
+    fixed = dict(fixed or {})
+    clash = sorted(set(fixed) & set(param_grid))
+    if clash:
+        raise ValueError(
+            f"parameter(s) both swept and fixed: {', '.join(clash)}"
+        )
     if not param_grid:
-        return [SweepJob(scenario=scenario, repeats=repeats)]
+        return [SweepJob(scenario=scenario, overrides=fixed, repeats=repeats)]
     keys = sorted(param_grid)
     jobs: List[SweepJob] = []
     for combo in itertools.product(*(param_grid[k] for k in keys)):
         overrides = dict(zip(keys, combo))
         suffix = "--".join(f"{k}-{_format_value(v)}" for k, v in overrides.items())
+        overrides.update(fixed)
         jobs.append(
             SweepJob(
                 scenario=scenario,

@@ -1,0 +1,116 @@
+"""Content fingerprints for cacheable planner/profiler inputs.
+
+The persistent artifact cache (:mod:`repro.cache.store`) is content-addressed:
+an entry's key is a SHA-256 digest of everything that determines its value —
+the model-graph topology, the GPU specification, the profiler configuration,
+the network fabric, the planner configuration, and the workload parameters
+(batch, GPU budget, amplification limit).  Two processes that derive the same
+inputs derive the same key and therefore share one entry; *any* change to an
+input (an edited graph, a different GPU, a bumped schema) produces a different
+key, which is how invalidation works — stale entries are simply never looked
+up again.
+
+All fingerprints go through :func:`canonical_json`, which serializes with
+sorted keys and exact float representations so the digest is stable across
+processes, platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict
+from typing import Any
+
+__all__ = [
+    "canonical_json",
+    "fingerprint",
+    "graph_fingerprint",
+    "gpu_spec_fingerprint",
+    "fabric_fingerprint",
+    "profiler_fingerprint",
+    "planner_config_fingerprint",
+]
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact float reprs.
+
+    ``repr``-based float serialization (the ``json`` default) round-trips
+    exactly, so numerically identical inputs always produce byte-identical
+    canonical strings.  NaN/Infinity are rejected: they have no canonical
+    JSON form and would silently produce unshareable keys.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``parts``."""
+    digest = hashlib.sha256()
+    digest.update(canonical_json(list(parts)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph) -> str:
+    """Fingerprint of a :class:`~repro.models.graph.ModelGraph`.
+
+    Covers the graph name, every layer's full static spec, and the edge
+    list — any topology or per-layer change (an added layer, an edited FLOP
+    count) changes the digest.  The digest is memoized on the graph object;
+    ``add_layer`` after fingerprinting is not expected (planning operates on
+    finished graphs), but the memo is keyed by layer/edge counts so a grown
+    graph re-fingerprints rather than serving a stale digest.
+    """
+    memo = getattr(graph, "_fingerprint_memo", None)
+    shape = (len(graph), len(graph.edges()))
+    if memo is not None and memo[0] == shape:
+        return memo[1]
+    payload = {
+        "name": graph.name,
+        "layers": [
+            [lid, asdict(graph.spec(lid))] for lid in graph.layer_ids()
+        ],
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+    digest = fingerprint("model-graph", payload)
+    try:
+        graph._fingerprint_memo = (shape, digest)
+    except AttributeError:  # pragma: no cover - exotic graph stand-ins
+        pass
+    return digest
+
+
+def gpu_spec_fingerprint(gpu) -> str:
+    """Fingerprint of a :class:`~repro.profiler.gpu_spec.GPUSpec`."""
+    return fingerprint("gpu-spec", asdict(gpu))
+
+
+def fabric_fingerprint(fabric) -> str:
+    """Fingerprint of a :class:`~repro.network.fabric.NetworkFabric`."""
+    return fingerprint("fabric", asdict(fabric))
+
+
+def profiler_fingerprint(profiler) -> str:
+    """Fingerprint of everything a profiler folds into a layer timing."""
+    return fingerprint(
+        "profiler",
+        asdict(profiler.gpu),
+        profiler.use_cuda_graphs,
+        profiler.dtype_bytes,
+    )
+
+
+def planner_config_fingerprint(config) -> str:
+    """Fingerprint of a :class:`~repro.core.planner.planner.PlannerConfig`.
+
+    An unbounded amplification limit (``float('inf')``) is legal in a config
+    but has no canonical JSON form, so it is named explicitly.
+    """
+    payload = {
+        key: "inf" if isinstance(value, float) and math.isinf(value) else value
+        for key, value in asdict(config).items()
+    }
+    return fingerprint("planner-config", payload)

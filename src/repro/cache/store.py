@@ -1,0 +1,196 @@
+"""The content-addressed on-disk artifact cache.
+
+:class:`ArtifactCache` persists small JSON payloads (layer timings, whole
+training plans) across processes and CI runs.  Design points:
+
+* **Content addressing** — keys are SHA-256 digests of the entry's full
+  derivation inputs (see :mod:`repro.cache.fingerprint`), so entries never go
+  stale: changing any input changes the key, and the old entry is simply
+  never read again.
+* **Schema versioning** — every entry lives under a ``v<N>`` directory and
+  carries ``cache_schema_version`` in its envelope.  Bumping
+  :data:`CACHE_SCHEMA_VERSION` abandons every old entry at once (the CI
+  workflow keys its cache restore on this version for the same reason).
+* **Crash/corruption safety** — writes go to a temp file in the target
+  directory followed by an atomic ``os.replace``, so concurrent writers of
+  the same key race benignly (last writer wins with identical content).
+  Unreadable or mismatched entries are treated as misses, counted in
+  ``stats.errors``, and recomputed — a corrupted cache can slow a run down
+  but never crash it or poison its results.
+
+The cache root resolves, in order: the explicit ``root`` argument, the
+``REPRO_CACHE_DIR`` environment variable, then ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ArtifactCache",
+    "default_cache_dir",
+]
+
+#: Bump to invalidate every persisted entry at once (layout or semantics
+#: change of any cached payload).  CI keys its cross-run cache on this.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one :class:`ArtifactCache`'s traffic.
+
+    ``errors`` counts entries that existed but could not be used (corrupted
+    JSON, wrong schema, key mismatch); each error is also a miss.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    @property
+    def queries(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.errors = 0
+
+
+class ArtifactCache:
+    """Content-addressed, schema-versioned JSON store shared across processes.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (created lazily).  ``None`` resolves via
+        :func:`default_cache_dir`.
+    schema_version:
+        Entry-format version; entries written under a different version are
+        invisible.  Exposed as a parameter so tests can prove that a schema
+        bump forces recomputation.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        self.base_dir = (
+            Path(root).expanduser() if root is not None else default_cache_dir()
+        )
+        self.schema_version = schema_version
+        self.root = self.base_dir / f"v{schema_version}"
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- plumbing
+    def entry_path(self, namespace: str, key: str) -> Path:
+        """Path of the entry file for ``key`` (two-level fan-out by prefix)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache key must be a hex digest, got {key!r}")
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------- api
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        """Payload stored under ``key``, or ``None`` on miss.
+
+        Any failure to read or validate the entry (corrupted file, foreign
+        schema, envelope/key mismatch) counts as a miss; the bad file is
+        best-effort removed so it is not re-parsed on every lookup.
+        """
+        path = self.entry_path(namespace, key)
+        try:
+            raw = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(raw)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("cache_schema_version") != self.schema_version
+                or envelope.get("key") != key
+                or "payload" not in envelope
+            ):
+                raise ValueError("invalid cache envelope")
+            payload = envelope["payload"]
+        except ValueError:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> Path:
+        """Persist ``payload`` under ``key`` atomically and return its path."""
+        path = self.entry_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_schema_version": self.schema_version,
+            "namespace": namespace,
+            "key": key,
+            "payload": payload,
+        }
+        # Write-then-rename keeps readers from ever seeing a partial entry,
+        # even when several processes compute and store the same key at once.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True, indent=1)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def get_or_compute(
+        self,
+        namespace: str,
+        key: str,
+        compute: Callable[[], Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Cached payload for ``key``, computing and storing it on a miss."""
+        cached = self.get(namespace, key)
+        if cached is not None:
+            return cached
+        payload = compute()
+        self.put(namespace, key, payload)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArtifactCache(root={str(self.root)!r}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

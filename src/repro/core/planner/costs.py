@@ -16,8 +16,9 @@ every candidate GPU count many times during the dynamic program).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ...cache import fabric_fingerprint, fingerprint, graph_fingerprint
 from ...models.graph import ModelGraph
 from ...network.collectives import CollectiveCostModel
 from ...network.fabric import NetworkFabric
@@ -83,6 +84,26 @@ class PlannerCostModel:
         self._comp_cache: Dict[Tuple[int, int], float] = {}
         self._sync_cache: Dict[Tuple[int, int], float] = {}
         self._comm_cache: Dict[Tuple[int, int, int], float] = {}
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of every input this cost model derives from.
+
+        Two cost models with the same fingerprint return identical
+        ``comp``/``sync``/``comm`` values for every query, so the digest
+        identifies cached planner artifacts (and keeps schedulers with
+        different profiler/planner configurations from aliasing plans).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint(
+                "cost-model",
+                graph_fingerprint(self.graph),
+                self.global_batch,
+                fabric_fingerprint(self.fabric),
+                self.profiler.fingerprint(),
+                self.dtype_bytes,
+            )
+        return self._fingerprint
 
     # --------------------------------------------------------------- comp/sync
     def comp(self, layer_id: int, num_gpus: int) -> float:

@@ -17,11 +17,18 @@ Two reference plans are also provided:
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ...cache import (
+    ArtifactCache,
+    fabric_fingerprint,
+    fingerprint,
+    planner_config_fingerprint,
+)
 from ...models.graph import ModelGraph
 from ...network.fabric import NetworkFabric
 from ...profiler.layer_profiler import LayerProfiler
@@ -65,10 +72,17 @@ class BurstParallelPlanner:
         fabric: NetworkFabric,
         profiler: Optional[LayerProfiler] = None,
         config: Optional[PlannerConfig] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.fabric = fabric
         self.profiler = profiler if profiler is not None else LayerProfiler()
         self.config = config if config is not None else PlannerConfig()
+        #: Optional persistent plan store.  When set, ``plan()`` is looked up
+        #: by the content fingerprint of its full derivation (cost-model
+        #: identity + GPU budget + amplification limit + search-space config)
+        #: before any search runs, and computed plans are written back — so a
+        #: warm cache skips the chain DP *and* every profile query under it.
+        self.cache = cache
         # Cost models are pure functions of (graph, global batch) for a fixed
         # fabric/profiler, so one planner reuses them across plan() calls:
         # planning the same model at several GPU budgets (the grid benchmark,
@@ -101,9 +115,42 @@ class BurstParallelPlanner:
         return costs
 
     def clear_caches(self) -> None:
-        """Drop memoized cost models (and the profiler's timing memo)."""
+        """Drop memoized cost models (and the profiler's timing memo).
+
+        The persistent cache (when configured) is left untouched: its entries
+        are content-addressed and never stale.
+        """
         self._cost_models.clear()
         self.profiler.clear_cache()
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of this planner's configuration.
+
+        Covers the fabric, the profiler identity and the planner config —
+        everything besides the per-call (graph, batch, budget) inputs that
+        determines a plan.  Schedulers include it in their plan-cache keys so
+        two schedulers sharing one cache (or a scheduler whose planner was
+        swapped) can never alias plans across planner configurations.
+        """
+        return fingerprint(
+            "planner",
+            fabric_fingerprint(self.fabric),
+            self.profiler.fingerprint(),
+            planner_config_fingerprint(self.config),
+        )
+
+    def _plan_key(
+        self, costs: PlannerCostModel, total_gpus: int, amp_limit: float
+    ) -> str:
+        # float("inf") has no canonical JSON form; name it explicitly.
+        amp = "inf" if math.isinf(amp_limit) else amp_limit
+        return fingerprint(
+            "plan",
+            costs.fingerprint(),
+            total_gpus,
+            amp,
+            self.config.powers_of_two_only,
+        )
 
     # ------------------------------------------------------------------ plans
     def plan(
@@ -123,6 +170,14 @@ class BurstParallelPlanner:
             raise ValueError("amplification_limit must be at least 1.0")
         start = time.perf_counter()
         costs = self._cost_model(graph, global_batch)
+        if self.cache is not None:
+            key = self._plan_key(costs, total_gpus, amp_limit)
+            payload = self.cache.get("plan", key)
+            if payload is not None:
+                try:
+                    return TrainingPlan.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    pass  # foreign payload shape: fall through and recompute
         candidates = candidate_gpu_counts(
             total_gpus, global_batch, self.config.powers_of_two_only
         )
@@ -143,7 +198,7 @@ class BurstParallelPlanner:
             prev_gpus = decision.num_gpus
         search_time = time.perf_counter() - start
 
-        return TrainingPlan(
+        plan = TrainingPlan(
             model_name=graph.name,
             global_batch=global_batch,
             total_gpus=total_gpus,
@@ -152,6 +207,12 @@ class BurstParallelPlanner:
             iteration_time=solution.total_time,
             search_time=search_time,
         )
+        if self.cache is not None:
+            # JSON round-trips floats exactly, so every process sharing the
+            # cache reconstructs a byte-identical plan (search_time included:
+            # cached plans report the wall time of the original search).
+            self.cache.put("plan", key, plan.to_dict())
+        return plan
 
     def data_parallel_plan(
         self, graph: ModelGraph, global_batch: int, total_gpus: int

@@ -1,0 +1,187 @@
+"""Multiprocess planning pool: batch-plan many jobs across CPU cores.
+
+The paper's Table 3 argues burst-parallel planning is cheap enough to run
+per job, online; at cluster scale a manager faces *many* jobs at once (a
+trace replay's cold start, a policy comparison, a planner grid).  The
+:class:`PlannerPool` turns that batch into data parallelism over worker
+processes: each :class:`PlanRequest` names a registry model, a global batch,
+a GPU budget and an amplification limit, and ``plan_batch`` returns one
+:class:`~repro.core.planner.plan.TrainingPlan` per request, in request order.
+
+Results are independent of the worker count: every request is planned from
+the same deterministic inputs, plans travel between processes as their JSON
+dict form (which round-trips floats exactly), and ``processes <= 1`` runs
+inline in the calling process with no pool at all.  Give every worker the
+same ``cache_dir`` and they share one persistent
+:class:`~repro.cache.ArtifactCache` — a request planned by any worker (or
+any past run) is a disk hit for all of them.
+
+Workers are module-level functions on plain tuples, so the pool works under
+both fork and spawn start methods (same discipline as ``repro.bench.sweep``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ...cache import ArtifactCache
+from ...network.fabric import NetworkFabric, get_fabric
+from ...profiler.gpu_spec import A100_40GB, GPUSpec
+from ...profiler.layer_profiler import LayerProfiler
+from .plan import TrainingPlan
+from .planner import BurstParallelPlanner, PlannerConfig
+
+__all__ = ["PlanRequest", "PlannerPool"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning job: a registry model at a batch/budget/tolerance."""
+
+    model: str
+    global_batch: int
+    total_gpus: int
+    amplification_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.global_batch < 1:
+            raise ValueError("global_batch must be at least 1")
+        if self.total_gpus < 1:
+            raise ValueError("total_gpus must be at least 1")
+
+
+#: Worker payload: (model, batch, gpus, amp, fabric, gpu spec, config,
+#: use_cuda_graphs, cache_dir).  Dataclasses are picklable, so the fabric,
+#: GPU spec and planner config travel by value.
+_Payload = Tuple[
+    List[Tuple[str, int, int, Optional[float]]],
+    NetworkFabric,
+    GPUSpec,
+    PlannerConfig,
+    bool,
+    Optional[str],
+]
+
+
+def _build_planner(
+    fabric: NetworkFabric,
+    gpu: GPUSpec,
+    config: PlannerConfig,
+    use_cuda_graphs: bool,
+    cache_dir: Optional[str],
+) -> BurstParallelPlanner:
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    profiler = LayerProfiler(
+        gpu=gpu, use_cuda_graphs=use_cuda_graphs, persistent_cache=cache
+    )
+    return BurstParallelPlanner(fabric, profiler, config, cache=cache)
+
+
+def _plan_chunk(payload: _Payload) -> List[Dict]:
+    """Pool worker: plan one chunk of requests and return plan dicts."""
+    from ...models.registry import build_model  # deferred: keeps spawn light
+
+    requests, fabric, gpu, config, use_cuda_graphs, cache_dir = payload
+    planner = _build_planner(fabric, gpu, config, use_cuda_graphs, cache_dir)
+    graphs: Dict[str, object] = {}
+    out: List[Dict] = []
+    for model, batch, gpus, amp in requests:
+        graph = graphs.get(model)
+        if graph is None:
+            graph = graphs[model] = build_model(model)
+        plan = planner.plan(graph, batch, gpus, amplification_limit=amp)
+        out.append(plan.to_dict())
+    return out
+
+
+class PlannerPool:
+    """Plans batches of requests, optionally across worker processes.
+
+    Parameters
+    ----------
+    fabric:
+        Network fabric (preset name or instance) every plan assumes.
+    gpu / use_cuda_graphs:
+        Profiler identity the workers plan against.
+    config:
+        Planner configuration shared by all workers.
+    processes:
+        Worker processes; ``<= 1`` plans inline in the calling process.
+    cache_dir:
+        Optional persistent-cache root shared by all workers (and with any
+        other process pointed at the same directory).
+    """
+
+    def __init__(
+        self,
+        fabric: Union[NetworkFabric, str] = "nvswitch",
+        gpu: GPUSpec = A100_40GB,
+        use_cuda_graphs: bool = True,
+        config: Optional[PlannerConfig] = None,
+        processes: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.fabric = get_fabric(fabric) if isinstance(fabric, str) else fabric
+        self.gpu = gpu
+        self.use_cuda_graphs = use_cuda_graphs
+        self.config = config if config is not None else PlannerConfig()
+        self.processes = processes
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def planner(self) -> BurstParallelPlanner:
+        """A planner configured exactly like this pool's workers."""
+        return _build_planner(
+            self.fabric, self.gpu, self.config, self.use_cuda_graphs,
+            self.cache_dir,
+        )
+
+    def plan_batch(self, requests: Sequence[PlanRequest]) -> List[TrainingPlan]:
+        """Plan every request, returning plans in request order.
+
+        Duplicate requests are planned once and fanned back out, so callers
+        can pass raw (job, width) grids without pre-deduplicating.
+        """
+        unique: List[PlanRequest] = []
+        index: Dict[PlanRequest, int] = {}
+        for request in requests:
+            if request not in index:
+                index[request] = len(unique)
+                unique.append(request)
+        if not unique:
+            return []
+
+        tuples = [
+            (r.model, r.global_batch, r.total_gpus, r.amplification_limit)
+            for r in unique
+        ]
+        workers = min(self.processes, len(unique))
+        if workers <= 1:
+            dicts = _plan_chunk(
+                (tuples, self.fabric, self.gpu, self.config,
+                 self.use_cuda_graphs, self.cache_dir)
+            )
+        else:
+            # Round-robin chunks balance models across workers (requests for
+            # one model tend to arrive adjacent; striping keeps each worker's
+            # graph/profile reuse while avoiding one worker owning the one
+            # expensive model).
+            # workers <= len(unique), so every stripe is non-empty and the
+            # stripe index below maps results back to request positions.
+            chunks = [tuples[i::workers] for i in range(workers)]
+            payloads = [
+                (chunk, self.fabric, self.gpu, self.config,
+                 self.use_cuda_graphs, self.cache_dir)
+                for chunk in chunks
+            ]
+            with multiprocessing.Pool(processes=len(payloads)) as pool:
+                results = pool.map(_plan_chunk, payloads)
+            dicts = [None] * len(unique)  # type: ignore[list-item]
+            for stripe, chunk_dicts in enumerate(results):
+                for j, plan_dict in enumerate(chunk_dicts):
+                    dicts[stripe + j * workers] = plan_dict
+        plans = [TrainingPlan.from_dict(d) for d in dicts]
+        return [plans[index[request]] for request in requests]

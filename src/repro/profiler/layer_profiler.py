@@ -10,9 +10,10 @@ the analytical kernel model, replacing measurement on real hardware.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache import ArtifactCache, fingerprint, profiler_fingerprint
 from ..models.graph import LayerSpec, ModelGraph
 from .gpu_spec import GPUSpec, A100_40GB
 from .kernel_model import KernelCostModel, KernelWorkload
@@ -141,6 +142,13 @@ class LayerProfiler:
     enable_cache:
         Memoize ``layer_timing`` results.  Disabling restores the pre-cache
         behavior; the benchmark suite uses this to measure the speedup.
+    persistent_cache:
+        Optional :class:`~repro.cache.ArtifactCache`.  When set, timings
+        missing from the in-memory memo are looked up on disk (keyed by the
+        profiler fingerprint, the full layer spec and the batch size) before
+        being recomputed, and computed timings are persisted — so planner
+        grids, sweep workers and CI runs across *processes* share one set of
+        profile derivations.
     """
 
     def __init__(
@@ -149,17 +157,26 @@ class LayerProfiler:
         use_cuda_graphs: bool = True,
         dtype_bytes: int = AMP_DTYPE_BYTES,
         enable_cache: bool = True,
+        persistent_cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.gpu = gpu
         self.use_cuda_graphs = use_cuda_graphs
         self.dtype_bytes = dtype_bytes
         self.kernel_model = KernelCostModel(gpu)
         self.enable_cache = enable_cache
+        self.persistent_cache = persistent_cache
         self.cache_stats = ProfilerCacheStats()
         self._timing_cache: Dict[Tuple[LayerSpec, int], LayerTiming] = {}
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of everything folded into a layer timing."""
+        if self._fingerprint is None:
+            self._fingerprint = profiler_fingerprint(self)
+        return self._fingerprint
 
     def clear_cache(self) -> None:
-        """Drop memoized timings.
+        """Drop memoized timings (in-memory only; disk entries remain valid).
 
         The hit/miss counters keep accumulating (they describe the query
         history, not the cache contents); call ``cache_stats.reset()`` to
@@ -202,7 +219,22 @@ class LayerProfiler:
             self.cache_stats.hits += 1
             return cached
         self.cache_stats.misses += 1
-        timing = self._compute_layer_timing(spec, batch)
+        timing = None
+        if self.persistent_cache is not None:
+            digest = fingerprint(
+                "layer-timing", self.fingerprint(), asdict(spec), batch
+            )
+            payload = self.persistent_cache.get("layer_timing", digest)
+            if payload is not None:
+                try:
+                    timing = LayerTiming(**payload)
+                except TypeError:  # foreign payload shape: recompute
+                    timing = None
+            if timing is None:
+                timing = self._compute_layer_timing(spec, batch)
+                self.persistent_cache.put("layer_timing", digest, asdict(timing))
+        if timing is None:
+            timing = self._compute_layer_timing(spec, batch)
         self._timing_cache[key] = timing
         return timing
 

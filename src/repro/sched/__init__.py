@@ -18,6 +18,7 @@ Public API:
 
 from .events import Event, EventKind, EventQueue, GpuPool
 from .metrics import FleetMetrics, JobRecord, percentile
+from .ordering import PendingQueue, SortedJobList
 from .policies import (
     POLICIES,
     CollocationAwarePolicy,
@@ -28,13 +29,15 @@ from .policies import (
     get_policy,
 )
 from .scheduler import ClusterScheduler, ScheduleResult
-from .traces import TraceJob, alibaba_trace, synthetic_trace
+from .traces import TraceJob, alibaba_trace, mixed_trace, synthetic_trace
 
 __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
     "GpuPool",
+    "PendingQueue",
+    "SortedJobList",
     "FleetMetrics",
     "JobRecord",
     "percentile",
@@ -50,4 +53,5 @@ __all__ = [
     "TraceJob",
     "synthetic_trace",
     "alibaba_trace",
+    "mixed_trace",
 ]

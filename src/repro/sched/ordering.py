@@ -1,0 +1,140 @@
+"""Mutation-maintained orderings for the scheduler's placement pass.
+
+PR 2 made the event queue and GPU free-list heap-disciplined, but the
+placement pass itself still re-sorted three populations from scratch at
+every scheduling point: the pending queue (``sorted`` per pass), the
+preemption victim list, and the re-planning candidates — O(n log n) Python
+key-function calls *per event*, ruinous at the ``sched_sim_xl`` scale
+(thousands of GPUs, tens of thousands of jobs).
+
+This module replaces those sorts with structures maintained on mutation:
+
+* :class:`SortedJobList` — a list kept sorted under ``bisect.insort``
+  discipline.  Keys are computed **once per insertion** (O(log n) search +
+  one C-level ``insert``) and removal is an O(log n) lookup of the stored
+  key.  Iteration yields jobs in key order for free.
+* :class:`PendingQueue` — a :class:`SortedJobList` keyed by the scheduling
+  policy's ``sort_key``, with a maintained count of waiting foreground jobs.
+
+Correctness relies on a property the scheduler enforces: a job's key never
+changes *while it is inside* a structure.  Keys derived from
+``remaining_gpu_seconds`` only move when ``_advance`` updates the job's
+progress, and the scheduler re-keys the affected entry right there; keys
+derived from policy ``sort_key`` are static for the built-in policies while
+a job waits (policies whose keys depend on the current time must set
+``dynamic_priority`` and are re-keyed every pass).  Ties are broken by a
+monotonic insertion sequence, reproducing the stable-sort semantics of the
+code this replaces.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["SortedJobList", "PendingQueue"]
+
+
+class SortedJobList:
+    """Items kept sorted by a caller-supplied tuple key, stable on ties.
+
+    Items must expose a ``name`` attribute unique within the structure (the
+    scheduler's per-run job states do).  The stored key is the caller's key
+    extended with a monotonic sequence number, so equal caller keys order by
+    insertion — exactly what a stable sort over an append-ordered list
+    produced before.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[Tuple] = []
+        self._items: List = []
+        self._key_of: Dict[str, Tuple] = {}
+        self._seq = itertools.count()
+
+    def add(self, item, key: Tuple) -> None:
+        if item.name in self._key_of:
+            raise ValueError(f"job {item.name!r} already tracked")
+        full = tuple(key) + (next(self._seq),)
+        index = bisect.bisect_left(self._keys, full)
+        self._keys.insert(index, full)
+        self._items.insert(index, item)
+        self._key_of[item.name] = full
+
+    def remove(self, item) -> None:
+        full = self._key_of.pop(item.name)
+        index = bisect.bisect_left(self._keys, full)
+        # The sequence suffix makes stored keys unique, so bisect lands
+        # exactly on the entry.
+        del self._keys[index]
+        del self._items[index]
+
+    def rekey(self, item, key: Tuple) -> None:
+        """Move an item to the position its new key dictates."""
+        self.remove(item)
+        self.add(item, key)
+
+    def __contains__(self, item) -> bool:
+        return item.name in self._key_of
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._items.clear()
+        self._key_of.clear()
+
+
+class PendingQueue:
+    """The pending jobs, kept in policy order as they come and go.
+
+    Jobs are keyed by ``policy.sort_key(job, now)`` at insertion time.  For
+    the built-in policies that key is frozen while the job waits (arrival
+    time and order never change; ``remaining_gpu_seconds`` only changes
+    while *running*, and re-entry recomputes the key), so iteration order is
+    identical to the per-pass ``sorted(pending, key=...)`` it replaces.
+    Policies with time-varying keys (aging, deadlines) must set
+    ``dynamic_priority = True``; the scheduler then calls :meth:`resort`
+    before each pass, restoring the previous full-sort behaviour.
+    """
+
+    def __init__(self, policy) -> None:
+        self._policy = policy
+        self._jobs = SortedJobList()
+        self.foreground_waiting = 0
+
+    def add(self, state, now: float) -> None:
+        self._jobs.add(state, self._policy.sort_key(state, now))
+        if state.is_foreground:
+            self.foreground_waiting += 1
+
+    def remove(self, state) -> None:
+        self._jobs.remove(state)
+        if state.is_foreground:
+            self.foreground_waiting -= 1
+
+    def resort(self, now: float) -> None:
+        """Recompute every key at ``now`` (dynamic-priority policies only)."""
+        jobs = list(self._jobs)
+        self._jobs.clear()
+        for state in jobs:
+            self._jobs.add(state, self._policy.sort_key(state, now))
+
+    def __contains__(self, state) -> bool:
+        return state in self._jobs
+
+    def __iter__(self) -> Iterator:
+        return iter(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)

@@ -59,10 +59,20 @@ class SchedulingPolicy(ABC):
     preempt_background: bool = False
     #: Re-plan running foreground jobs onto freed GPUs when the queue drains.
     replan_running: bool = False
+    #: Whether ``sort_key`` depends on ``now`` (aging, deadlines...).  The
+    #: scheduler keeps the pending queue sorted incrementally under keys
+    #: computed at insertion; a policy whose keys drift with time must set
+    #: this so the queue is re-keyed before every placement pass.
+    dynamic_priority: bool = False
 
     @abstractmethod
     def sort_key(self, job, now: float) -> Tuple:
-        """Ordering key for the pending queue (smaller schedules first)."""
+        """Ordering key for the pending queue (smaller schedules first).
+
+        For jobs *waiting* in the queue the key must be stable over time
+        unless :attr:`dynamic_priority` is set: the scheduler computes it
+        once when the job enters the pending queue.
+        """
 
     def desired_width(self, job, num_gpus: int) -> int:
         """Power-of-two GPU width the job would use on an empty cluster."""

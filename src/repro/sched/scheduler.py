@@ -24,10 +24,19 @@ The event loop supports the dynamics a real cluster manager needs:
   policies may re-plan a running foreground job to a wider burst-parallel
   plan, preserving its progress.
 
-Plans are cached by ``(model, batch, width, amplification limit)`` so a long
-trace (or several policies sharing one scheduler) only pays each planner
-search once.  Everything is deterministic: identical traces and policies
-produce bit-identical :class:`~repro.sched.metrics.FleetMetrics`.
+Plans are cached by ``(model, batch, width, amplification limit)`` plus the
+planner's content fingerprint (so schedulers with different planner or
+profiler configurations can never alias plans), and the cache can be
+pre-warmed before replay via :meth:`ClusterScheduler.prewarm_plans` — batch
+planning every (model, width) a trace can request, optionally across worker
+processes through a :class:`~repro.core.planner.pool.PlannerPool`.
+
+The placement pass is *incremental*: the pending queue, the running
+foreground jobs, the dedicated background jobs and each host's guests are
+kept in mutation-maintained order (:mod:`repro.sched.ordering`) instead of
+being re-sorted on every event, so one scheduling point costs O(changes ·
+log n), not O(n log n).  Everything is deterministic: identical traces and
+policies produce bit-identical :class:`~repro.sched.metrics.FleetMetrics`.
 """
 
 from __future__ import annotations
@@ -39,12 +48,14 @@ from ..cluster.coordinator import ClusterCoordinator
 from ..cluster.executor import CollocationProfile
 from ..core.planner.plan import TrainingPlan
 from ..core.planner.planner import BurstParallelPlanner
+from ..core.planner.pool import PlannerPool, PlanRequest
 from ..models.graph import ModelGraph
 from ..models.registry import build_model
 from ..network.fabric import NetworkFabric, get_fabric
 from ..profiler.layer_profiler import LayerProfiler
 from .events import EventKind, EventQueue, GpuPool
 from .metrics import FleetMetrics, JobRecord
+from .ordering import PendingQueue, SortedJobList
 from .policies import SchedulingPolicy, floor_pow2, get_policy
 from .traces import TraceJob
 
@@ -80,6 +91,8 @@ class _JobState:
         self.work_per_iteration = 0.0  # busy GPU-seconds per iteration
         self.busy_fractions: List[float] = []
         self.hosted: Dict[int, "_JobState"] = {}  # local GPU index -> bg job
+        #: Guests ordered by arrival order, maintained on attach/detach.
+        self.guest_order = SortedJobList()
         # Background placement state.
         self.host: Optional["_JobState"] = None
         self.host_index = 0
@@ -171,10 +184,20 @@ class ClusterScheduler:
         self.collocation = (
             collocation if collocation is not None else CollocationProfile()
         )
-        self._plan_cache: Dict[Tuple[str, int, int, float], TrainingPlan] = {}
+        self._plan_cache: Dict[
+            Tuple[str, int, int, float, str], TrainingPlan
+        ] = {}
         self._graph_cache: Dict[str, ModelGraph] = {}
         self._iso_cache: Dict[Tuple[str, int], float] = {}
         self._states: Dict[str, _JobState] = {}
+        # Planner identity folded into plan-cache keys; memoized per planner
+        # object so swapping self.planner can never serve the old planner's
+        # plans.
+        self._planner_fp: Optional[str] = None
+        self._planner_fp_owner: Optional[BurstParallelPlanner] = None
+        # Mutation-maintained placement registries (re-bound per run).
+        self._fg_running = SortedJobList()
+        self._bg_dedicated = SortedJobList()
 
     # ------------------------------------------------------------------ caches
     def _graph(self, model: str) -> ModelGraph:
@@ -190,8 +213,19 @@ class ClusterScheduler:
             )
         return self._iso_cache[key]
 
+    def _planner_fingerprint(self) -> str:
+        if self._planner_fp is None or self._planner_fp_owner is not self.planner:
+            self._planner_fp = self.planner.fingerprint()
+            self._planner_fp_owner = self.planner
+        return self._planner_fp
+
+    def _plan_cache_key(
+        self, model: str, batch: int, width: int, amp_limit: float
+    ) -> Tuple[str, int, int, float, str]:
+        return (model, batch, width, amp_limit, self._planner_fingerprint())
+
     def _plan_for(self, state: _JobState, width: int) -> TrainingPlan:
-        key = (
+        key = self._plan_cache_key(
             state.trace.model,
             state.global_batch,
             width,
@@ -205,6 +239,84 @@ class ClusterScheduler:
                 amplification_limit=state.trace.amplification_limit,
             )
         return self._plan_cache[key]
+
+    def prewarm_plans(
+        self,
+        trace: Sequence[TraceJob],
+        pool: Optional[PlannerPool] = None,
+    ) -> int:
+        """Plan every (model, width) the trace can request, before replay.
+
+        Every foreground job is expanded to the power-of-two widths its
+        policy could ever place it at (1 up to ``floor_pow2`` of its
+        GPU/batch/``max_gpus`` cap), the deduplicated requests are planned —
+        through ``pool`` (possibly multiprocess, possibly backed by a shared
+        persistent cache) when given, inline on this scheduler's planner
+        otherwise — and the results seed :attr:`_plan_cache` so trace replay
+        never stalls on a planner search.  Returns the number of plans
+        seeded.
+
+        When a pool is used, its fabric/profiler/planner configuration must
+        match this scheduler's planner: the cache key identifies plans by
+        *this* planner's fingerprint, so a mismatched pool would seed
+        foreign plans under it.  The fingerprints are compared up front and
+        a mismatch raises ``ValueError``.  Pool results are deterministic
+        and independent of the worker count, so replay metrics are identical
+        whether the cache was warmed inline, by one worker, or by many.
+        """
+        if pool is not None:
+            pool_fp = pool.planner().fingerprint()
+            if pool_fp != self._planner_fingerprint():
+                raise ValueError(
+                    "PlannerPool configuration does not match this "
+                    "scheduler's planner (fabric/profiler/config fingerprints "
+                    "differ); prewarmed plans would alias under the wrong "
+                    "planner identity"
+                )
+        requests: List[PlanRequest] = []
+        seen = set()
+        for job in trace:
+            if not job.is_foreground:
+                continue
+            cap = min(
+                self.num_gpus,
+                job.global_batch,
+                job.max_gpus if job.max_gpus is not None else self.num_gpus,
+            )
+            width = 1
+            top = floor_pow2(max(cap, 1))
+            while width <= top:
+                request = PlanRequest(
+                    job.model, job.global_batch, width, job.amplification_limit
+                )
+                if request not in seen:
+                    seen.add(request)
+                    requests.append(request)
+                width *= 2
+        if pool is not None:
+            plans = pool.plan_batch(requests)
+        else:
+            plans = [
+                self.planner.plan(
+                    self._graph(r.model),
+                    r.global_batch,
+                    r.total_gpus,
+                    amplification_limit=r.amplification_limit,
+                )
+                for r in requests
+            ]
+        seeded = 0
+        for request, plan in zip(requests, plans):
+            key = self._plan_cache_key(
+                request.model,
+                request.global_batch,
+                request.total_gpus,
+                request.amplification_limit,
+            )
+            if key not in self._plan_cache:
+                self._plan_cache[key] = plan
+                seeded += 1
+        return seeded
 
     # --------------------------------------------------------------- event loop
     def run(
@@ -224,15 +336,18 @@ class ClusterScheduler:
                 job, order, self._graph(job.model),
                 self._iso_iter_time(job.model, job.global_batch),
             )
-        # Per-run registry the placement helpers consult (re-bound every run).
+        # Per-run registries the placement helpers consult (re-bound every
+        # run so one scheduler can serve many traces/policies).
         self._states = states
+        self._fg_running = SortedJobList()
+        self._bg_dedicated = SortedJobList()
 
         queue = EventQueue()
         for job in trace:
             queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.name)
 
         free = GpuPool(range(self.num_gpus))
-        pending: List[_JobState] = []
+        pending = PendingQueue(policy)
         records: List[JobRecord] = []
         first_arrival = min(job.arrival_time for job in trace)
         last_finish = first_arrival
@@ -243,7 +358,7 @@ class ClusterScheduler:
             now = event.time
             if event.kind is EventKind.JOB_ARRIVAL:
                 state.last_update = now
-                pending.append(state)
+                pending.add(state, now)
             else:
                 if state.status != _RUNNING or event.version != state.version:
                     continue  # stale finish event (job was re-planned/preempted)
@@ -273,6 +388,11 @@ class ClusterScheduler:
         )
 
     # ---------------------------------------------------------------- progress
+    @staticmethod
+    def _work_key(state: _JobState) -> Tuple[float, int]:
+        """Most-remaining-work-first ordering (preemption/re-plan registries)."""
+        return (-state.remaining_gpu_seconds, state.order)
+
     def _advance(self, state: _JobState, now: float) -> None:
         """Account progress since the job's last update."""
         elapsed = now - state.last_update
@@ -286,6 +406,11 @@ class ClusterScheduler:
             state.allocated_gpu_seconds += elapsed * state.width
         elif not state.collocated:
             state.allocated_gpu_seconds += elapsed
+        # The job's remaining work moved: keep its registry position honest.
+        if state in self._fg_running:
+            self._fg_running.rekey(state, self._work_key(state))
+        elif state in self._bg_dedicated:
+            self._bg_dedicated.rekey(state, self._work_key(state))
 
     def _current_rate(self, state: _JobState) -> float:
         """Iterations per second in the job's current placement."""
@@ -330,10 +455,12 @@ class ClusterScheduler:
         self._install_plan(state, self._plan_for(state, width))
         state.gpu_ids = free.take(width)
         state.hosted = {}
+        state.guest_order = SortedJobList()
         state.status = _RUNNING
         if state.start_time is None:
             state.start_time = now
         state.last_update = now
+        self._fg_running.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
 
     def _start_background_dedicated(
@@ -347,6 +474,7 @@ class ClusterScheduler:
         if state.start_time is None:
             state.start_time = now
         state.last_update = now
+        self._bg_dedicated.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
 
     def _attach_background(
@@ -356,6 +484,7 @@ class ClusterScheduler:
         """Collocate a background job onto one GPU of a running foreground job."""
         first_guest = not host.hosted
         host.hosted[index] = state
+        host.guest_order.add(state, (state.order,))
         state.host = host
         state.host_index = index
         state.width = 1
@@ -400,36 +529,42 @@ class ClusterScheduler:
         return best[3], best[2]
 
     def _detach_background(
-        self, state: _JobState, now: float, pending: List[_JobState]
+        self, state: _JobState, now: float, pending: PendingQueue
     ) -> None:
         """Return a collocated background job to the pending queue."""
         self._advance(state, now)
         assert state.host is not None
         del state.host.hosted[state.host_index]
+        state.host.guest_order.remove(state)
         state.host = None
         state.gpu_ids = []
         state.status = _PENDING
         state.version += 1  # invalidate the in-flight finish event
-        pending.append(state)
+        pending.add(state, now)
 
     def _preempt_background(
         self, state: _JobState, now: float, free: GpuPool,
-        pending: List[_JobState],
+        pending: PendingQueue,
     ) -> None:
         """Evict a dedicated background job, keeping its progress."""
+        self._bg_dedicated.remove(state)
         self._advance(state, now)
         free.release(state.gpu_ids)
         state.gpu_ids = []
         state.status = _PENDING
         state.version += 1
         state.preemptions += 1
-        pending.append(state)
+        pending.add(state, now)
 
     # --------------------------------------------------------------- completion
     def _finish(
         self, state: _JobState, now: float, free: GpuPool,
-        pending: List[_JobState], queue: EventQueue, records: List[JobRecord],
+        pending: PendingQueue, queue: EventQueue, records: List[JobRecord],
     ) -> None:
+        if state.is_foreground:
+            self._fg_running.remove(state)
+        elif not state.collocated:
+            self._bg_dedicated.remove(state)
         self._advance(state, now)
         state.remaining = 0.0
         state.status = _DONE
@@ -437,6 +572,7 @@ class ClusterScheduler:
             assert state.host is not None
             host = state.host
             del host.hosted[state.host_index]
+            host.guest_order.remove(state)
             state.host = None
             if not host.hosted:
                 # Last guest left: the host runs at full speed again.
@@ -447,7 +583,7 @@ class ClusterScheduler:
         state.gpu_ids = []
         if state.is_foreground:
             # Orphaned guests go back to the queue and are re-placed below.
-            for guest in sorted(state.hosted.values(), key=lambda g: g.order):
+            for guest in list(state.guest_order):
                 self._detach_background(guest, now, pending)
             state.hosted = {}
         assert state.start_time is not None
@@ -471,14 +607,22 @@ class ClusterScheduler:
 
     # -------------------------------------------------------------- scheduling
     def _schedule_pending(
-        self, now: float, pending: List[_JobState], free: GpuPool,
+        self, now: float, pending: PendingQueue, free: GpuPool,
         policy: SchedulingPolicy, queue: EventQueue,
     ) -> None:
-        """Place pending jobs until the policy makes no further progress."""
+        """Place pending jobs until the policy makes no further progress.
+
+        The queue is already in policy order (keys maintained on insertion),
+        so one pass costs O(pending) instead of O(pending log pending);
+        policies with time-varying keys declare ``dynamic_priority`` and are
+        re-keyed here before each pass.
+        """
         while pending:
-            order = sorted(pending, key=lambda s: policy.sort_key(s, now))
-            placed: List[_JobState] = []
-            waiting_fg = sum(1 for s in order if s.is_foreground)
+            if policy.dynamic_priority:
+                pending.resort(now)
+            order = list(pending)
+            placed = 0
+            waiting_fg = pending.foreground_waiting
             for state in order:
                 if state.is_foreground:
                     desired = policy.desired_width(state, self.num_gpus)
@@ -492,21 +636,24 @@ class ClusterScheduler:
                         if policy.strict_order:
                             break
                         continue
+                    # Placed jobs leave the queue immediately: a background
+                    # job placed earlier in this pass may be preempted later
+                    # in the same pass and must be free to re-enter it.
+                    pending.remove(state)
                     self._start_foreground(state, width, now, free, queue)
-                    placed.append(state)
+                    placed += 1
                 else:
                     if self._place_background(state, now, free, policy, queue):
-                        placed.append(state)
+                        pending.remove(state)
+                        placed += 1
                     elif policy.strict_order:
                         break
             if not placed:
                 break
-            for state in placed:
-                pending.remove(state)
 
     def _preempt_for(
         self, desired: int, now: float, free: GpuPool,
-        pending: List[_JobState],
+        pending: PendingQueue,
     ) -> None:
         """Evict the fewest dedicated background jobs that widen a placement.
 
@@ -514,15 +661,11 @@ class ClusterScheduler:
         ``floor_pow2`` of the free pool; preempting beyond that (or when even
         evicting every victim would not reach the next power of two) only
         churns background jobs without changing the foreground placement.
+
+        The victim registry is maintained most-remaining-work-first, so the
+        eviction order needs no sort.
         """
-        victims = sorted(
-            (
-                victim
-                for victim in self._dedicated_backgrounds()
-                if victim.status == _RUNNING
-            ),
-            key=lambda v: (-v.remaining_gpu_seconds, v.order),
-        )
+        victims = list(self._bg_dedicated)
         attainable = min(desired, floor_pow2(len(free) + len(victims)))
         needed = attainable - len(free)
         if attainable <= floor_pow2(len(free)) or needed <= 0:
@@ -540,49 +683,33 @@ class ClusterScheduler:
             return True
         if policy.collocate_background:
             min_efficiency = getattr(policy, "min_collocation_efficiency", 0.0)
-            host = self._pick_background_host(self._running_fg, min_efficiency)
+            host = self._pick_background_host(
+                list(self._fg_running), min_efficiency
+            )
             if host is not None:
                 self._attach_background(state, host[0], host[1], now, queue)
                 return True
         return False
 
-    @property
-    def _running_fg(self) -> List[_JobState]:
-        return [
-            s for s in self._states.values()
-            if s.status == _RUNNING and s.is_foreground
-        ]
-
-    def _dedicated_backgrounds(self) -> List[_JobState]:
-        return [
-            s for s in self._states.values()
-            if s.status == _RUNNING and not s.is_foreground and not s.collocated
-        ]
-
     def _expand_running(
         self, now: float, free: GpuPool, queue: EventQueue
     ) -> None:
-        """Re-plan running foreground jobs onto freed GPUs (widest win first)."""
+        """Re-plan running foreground jobs onto freed GPUs (widest win first).
+
+        ``_fg_running`` is maintained most-remaining-work-first, so scanning
+        it in order and taking the first expandable job reproduces the old
+        sort-then-pick without re-sorting per freed GPU.
+        """
         while free:
-            candidates = sorted(
-                (
-                    s for s in self._running_fg
-                    if floor_pow2(s.width + len(free)) > s.width
-                    and s.width < min(
-                        self.num_gpus,
-                        s.global_batch,
-                        s.max_gpus if s.max_gpus is not None else self.num_gpus,
-                    )
-                ),
-                key=lambda s: (-s.remaining_gpu_seconds, s.order),
-            )
             expanded = False
-            for state in candidates:
+            for state in list(self._fg_running):
                 cap = min(
                     self.num_gpus,
                     state.global_batch,
                     state.max_gpus if state.max_gpus is not None else self.num_gpus,
                 )
+                if state.width >= cap:
+                    continue
                 new_width = min(floor_pow2(state.width + len(free)), floor_pow2(cap))
                 if new_width <= state.width:
                     continue
@@ -607,6 +734,6 @@ class ClusterScheduler:
         state.replans += 1
         self._reschedule_finish(state, now, queue)
         # Guests keep their GPU slot but their host's gaps moved.
-        for guest in sorted(state.hosted.values(), key=lambda g: g.order):
+        for guest in list(state.guest_order):
             self._advance(guest, now)
             self._reschedule_finish(guest, now, queue)

@@ -1,6 +1,6 @@
 """Job-arrival traces for the multi-tenant cluster scheduler.
 
-Two generators are provided, both fully deterministic under a seed:
+Three generators are provided, all fully deterministic under a seed:
 
 * :func:`synthetic_trace` — Poisson arrivals over the evaluation model zoo,
   with a configurable share of single-GPU background jobs.  This is the
@@ -9,6 +9,10 @@ Two generators are provided, both fully deterministic under a seed:
   of jobs are small (short, narrow, mostly background/best-effort) while a
   small head of large foreground jobs dominates GPU demand, with log-normal
   job sizes and a diurnal arrival-rate modulation.
+* :func:`mixed_trace` — both of the above interleaved on one timeline: the
+  steady Poisson tenant mix sharing the cluster with the heavy-tailed
+  diurnal tenant, which is the workload the cluster-scale ``sched_sim_xl``
+  benchmark replays.
 
 Neither generator needs the real cluster traces; they reproduce the shape
 (arrival process, size skew, foreground/background mix) that the scheduling
@@ -25,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..cluster.job import JobKind, TrainingJob
 from ..models.graph import ModelGraph
 
-__all__ = ["TraceJob", "synthetic_trace", "alibaba_trace"]
+__all__ = ["TraceJob", "synthetic_trace", "alibaba_trace", "mixed_trace"]
 
 
 @dataclass(frozen=True)
@@ -218,4 +222,40 @@ def alibaba_trace(
                     amplification_limit=2.0,
                 )
             )
+    return _sorted_and_named(jobs)
+
+
+def mixed_trace(
+    num_jobs: int,
+    seed: int = 0,
+    synthetic_fraction: float = 0.5,
+    arrival_rate: float = 0.8,
+    mean_interarrival: float = 1.5,
+    models: Sequence[str] = ("vgg16", "resnet50"),
+) -> List[TraceJob]:
+    """Synthetic and Alibaba-style tenants interleaved on one timeline.
+
+    ``synthetic_fraction`` of the jobs come from :func:`synthetic_trace`
+    (steady Poisson mix) and the rest from :func:`alibaba_trace`
+    (heavy-tailed, diurnal); job names are prefixed by tenant so the merged
+    trace keeps unique names, and the merge is re-sorted by arrival time.
+    This is the cluster-scale workload ``sched_sim_xl`` replays: neither
+    tenant alone exercises both a deep steady queue and bursty wide jobs.
+    """
+    if num_jobs < 2:
+        raise ValueError("mixed_trace needs at least 2 jobs (one per tenant)")
+    if not (0.0 < synthetic_fraction < 1.0):
+        raise ValueError("synthetic_fraction must be strictly between 0 and 1")
+    num_synthetic = max(1, min(num_jobs - 1, round(num_jobs * synthetic_fraction)))
+    synthetic = synthetic_trace(
+        num_synthetic, seed=seed, arrival_rate=arrival_rate, models=models
+    )
+    alibaba = alibaba_trace(
+        num_jobs - num_synthetic,
+        seed=seed + 1,
+        mean_interarrival=mean_interarrival,
+        models=models,
+    )
+    jobs = [replace(job, name=f"syn-{job.name}") for job in synthetic]
+    jobs += [replace(job, name=f"ali-{job.name}") for job in alibaba]
     return _sorted_and_named(jobs)

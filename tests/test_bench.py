@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.bench import (
+    SCHEMA_VERSION,
     BenchArtifact,
     artifact_filename,
     compare_artifacts,
@@ -94,7 +95,7 @@ class TestArtifactIO:
     def test_json_is_sorted_and_versioned(self, tmp_path):
         path = _artifact("x").write(tmp_path)
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == SCHEMA_VERSION
         assert list(data) == sorted(data)
 
     def test_load_artifacts_from_directory(self, tmp_path):
@@ -182,6 +183,43 @@ class TestSweep:
         assert len(set(names)) == 4
         assert all(n.startswith("sched_sim--") for n in names)
 
+    def test_grid_jobs_rejects_key_both_swept_and_fixed(self):
+        with pytest.raises(ValueError):
+            grid_jobs(
+                "planner_grid",
+                {"cache_dir": ["a", "b"]},
+                fixed={"cache_dir": "c"},
+            )
+
+    def test_grid_jobs_fixed_overrides_stay_out_of_names(self):
+        jobs = grid_jobs(
+            "planner_grid",
+            {"gpu_counts": [[1], [1, 2]]},
+            fixed={"cache_dir": "/tmp/shared"},
+        )
+        assert len(jobs) == 2
+        assert all(j.overrides["cache_dir"] == "/tmp/shared" for j in jobs)
+        assert all("cache_dir" not in (j.artifact_name or "") for j in jobs)
+        assert all("tmp" not in (j.artifact_name or "") for j in jobs)
+
+    def test_sweep_cli_cache_dir_shared_across_workers(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep", "planner_grid",
+            "--grid", "gpu_counts=1,2",
+            "--grid", "models=vgg11",
+            "--out", str(tmp_path / "out"),
+            "--processes", "2",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert bench_main(argv) == 0
+        assert cache_dir.is_dir()
+        artifacts = load_artifacts(tmp_path / "out")
+        assert len(artifacts) >= 1
+        for artifact in artifacts.values():
+            assert artifact.params["cache_dir"] == str(cache_dir)
+            assert "cache" not in artifact.name
+
     def test_run_jobs_serial_matches_multiprocess(self):
         jobs = [
             SweepJob("sched_sim", overrides=dict(SMALL_SCHED, seed=s),
@@ -245,9 +283,90 @@ class TestCLI:
         assert bench_main(["list"]) == 0
         assert "planner_grid" in capsys.readouterr().out
 
+    def test_run_filter_selects_subset(self, tmp_path):
+        argv = [
+            "run", "--all", "--filter", "sched_sim", "--out", str(tmp_path),
+        ]
+        for key, value in SMALL_SCHED.items():
+            argv += ["--param", f"{key}={value}"]
+        assert bench_main(argv) == 0
+        assert (tmp_path / artifact_filename("sched_sim")).exists()
+        # The glob matched exactly one scenario; nothing else ran.
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 1
+
+    def test_run_filter_without_match_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(
+                ["run", "--all", "--filter", "no_such_*", "--out", str(tmp_path)]
+            )
+
+    def test_run_cache_dir_applies_to_cache_aware_scenarios(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "run", "planner_grid", "--out", str(out),
+            "--cache-dir", str(cache_dir),
+            "--param", "models=vgg11", "--param", "gpu_counts=1,2",
+        ]
+        assert bench_main(argv) == 0
+        assert cache_dir.is_dir()
+        assert "cache[" in capsys.readouterr().out
+        artifact = load_artifacts(out)["planner_grid"]
+        assert artifact.params["cache_dir"] == str(cache_dir)
+        assert artifact.info["cache_writes"] > 0
+
+    def test_run_rejects_conflicting_cache_dir_sources(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(
+                ["run", "planner_grid", "--out", str(tmp_path),
+                 "--param", "cache_dir=/a", "--cache-dir", "/b"]
+            )
+
+    def test_compare_write_baselines_copies_current(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        new_baselines = tmp_path / "fresh-baselines"
+        _artifact("s").write(base)
+        # Current run regressed ops (would normally fail the gate)...
+        _artifact("s", ops=120).write(cur)
+        # ...but --write-baselines declares it the new baseline and exits 0.
+        assert bench_main(
+            ["compare", str(base), str(cur), "--ignore-time",
+             "--write-baselines", str(new_baselines)]
+        ) == 0
+        refreshed = load_artifacts(new_baselines)
+        assert refreshed["s"].ops == 120
+        assert "baseline <- s" in capsys.readouterr().out
+
+    def test_compare_ignores_environment_params(self, tmp_path):
+        """A CI run with its own cache dir gates against a cache-less baseline."""
+        base = {"s": _artifact("s", params={"x": 1, "cache_dir": None})}
+        cur = {"s": _artifact("s", params={"x": 1, "cache_dir": "/tmp/ci"})}
+        assert compare_artifacts(base, cur, ignore_time=True).ok
+        drift = {"s": _artifact("s", params={"x": 2, "cache_dir": None})}
+        assert not compare_artifacts(base, drift, ignore_time=True).ok
+
 
 class TestCachedProfileSpeedup:
     """The planner-grid speedup the harness was built to prove."""
+
+    def test_uncached_mode_bypasses_persistent_cache(self, tmp_path):
+        """cached=False measures the cold path; a warm disk cache must not
+        short-circuit it (and it must not populate the cache either)."""
+        cache_dir = str(tmp_path)
+        warm_setup = run_scenario(
+            "planner_grid", overrides=dict(SMALL_GRID, cache_dir=cache_dir)
+        )
+        assert warm_setup.info["cache_writes"] > 0
+        uncached = run_scenario(
+            "planner_grid",
+            overrides=dict(SMALL_GRID, cached=False, cache_dir=cache_dir),
+        )
+        assert uncached.info["persistent_cache"] is False
+        assert "cache_hits" not in uncached.info
+        # Same deterministic results either way.
+        assert uncached.ops == warm_setup.ops
+        assert uncached.metrics == warm_setup.metrics
 
     def test_caching_reduces_profile_computations(self):
         """Deterministic core of the speedup: fewer timings are computed."""
@@ -257,11 +376,12 @@ class TestCachedProfileSpeedup:
         uncached = run_scenario(
             "planner_grid", overrides=dict(SMALL_GRID, cached=False)
         )
-        # Identical query pattern, strictly less recomputation.
+        # Identical results and op counts, strictly less recomputation.
         assert cached.metrics["plans"] == uncached.metrics["plans"]
+        assert cached.ops == uncached.ops
         assert (
-            cached.metrics["profile_computations"]
-            < uncached.metrics["profile_computations"]
+            cached.info["profile_computations"]
+            < uncached.info["profile_computations"]
         )
 
     def test_warm_profile_lookups_beat_cold_computation(self):

@@ -1,0 +1,75 @@
+"""Tests for the multiprocess planning pool (repro.core.planner.pool)."""
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.core.planner import PlannerConfig, PlannerPool, PlanRequest
+from repro.models.registry import build_model
+
+
+def _without_search_time(plan):
+    data = plan.to_dict()
+    data.pop("search_time")
+    return data
+
+
+REQUESTS = [
+    PlanRequest("vgg11", 32, 1),
+    PlanRequest("vgg11", 32, 4),
+    PlanRequest("resnet50", 64, 2, amplification_limit=2.0),
+    PlanRequest("vgg11", 32, 4),  # duplicate: planned once, returned twice
+]
+
+
+class TestPlanRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanRequest("vgg11", 0, 1)
+        with pytest.raises(ValueError):
+            PlanRequest("vgg11", 32, 0)
+
+
+class TestPlannerPool:
+    def test_results_in_request_order_with_duplicates(self):
+        plans = PlannerPool(processes=1).plan_batch(REQUESTS)
+        assert [p.total_gpus for p in plans] == [1, 4, 2, 4]
+        assert [p.model_name for p in plans] == [
+            "vgg11", "vgg11", "resnet50", "vgg11",
+        ]
+        assert plans[1].to_dict() == plans[3].to_dict()  # deduped, shared
+
+    def test_empty_batch(self):
+        assert PlannerPool(processes=2).plan_batch([]) == []
+
+    def test_worker_count_does_not_change_plans(self):
+        serial = PlannerPool(processes=1).plan_batch(REQUESTS)
+        parallel = PlannerPool(processes=3).plan_batch(REQUESTS)
+        assert [_without_search_time(a) for a in serial] == [
+            _without_search_time(b) for b in parallel
+        ]
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            PlannerPool(processes=0)
+
+    def test_shared_cache_dir_serves_second_pool_from_disk(self, tmp_path):
+        first = PlannerPool(processes=1, cache_dir=str(tmp_path))
+        cold = first.plan_batch(REQUESTS)
+        # A different pool (fresh processes in the multiprocess case) reads
+        # the same entries and reconstructs byte-identical plans.
+        second = PlannerPool(processes=2, cache_dir=str(tmp_path))
+        warm = second.plan_batch(REQUESTS)
+        assert [a.to_json() for a in cold] == [b.to_json() for b in warm]
+
+    def test_pool_planner_matches_workers(self, tmp_path):
+        pool = PlannerPool(
+            processes=1,
+            config=PlannerConfig(amplification_limit=3.0),
+            cache_dir=str(tmp_path),
+        )
+        planner = pool.planner()
+        assert planner.config.amplification_limit == 3.0
+        assert isinstance(planner.cache, ArtifactCache)
+        direct = planner.plan(build_model("vgg11"), 32, 4)
+        pooled = pool.plan_batch([PlanRequest("vgg11", 32, 4)])[0]
+        assert _without_search_time(direct) == _without_search_time(pooled)
