@@ -14,6 +14,11 @@ Four scenarios ship by default, one per subsystem the ROADMAP cares about:
   ≥10k-job mixed trace (steady synthetic tenant + heavy-tailed diurnal
   tenant), with the plan cache pre-warmed through a
   :class:`~repro.core.planner.pool.PlannerPool`.
+* ``sched_sim_hetero`` — a heterogeneous A100+V100 fleet serving the mixed
+  trace under an injected host-failure storm: per-pool planning,
+  fastest-pool-first foreground placement, checkpoint/restart rollback and
+  lost-GPU-seconds accounting.  Ops are simulation events processed
+  (failures and recoveries included).
 * ``collocation_matrix`` — the Figure 12 pairwise GPU-collocation sweep over
   the synthetic kernel grid.  Ops are GPU-simulator runs.
 
@@ -29,16 +34,32 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..analysis.experiments import figure12_collocation_matrix
-from ..cache import ArtifactCache
+from ..cache import ArtifactCache, fleet_fingerprint
 from ..core.planner.planner import BurstParallelPlanner, PlannerConfig
 from ..core.planner.pool import PlannerPool
 from ..models.registry import available_models, build_model, model_entry
 from ..network.fabric import get_fabric
+from ..profiler.gpu_spec import get_gpu_spec
 from ..profiler.layer_profiler import LayerProfiler
-from ..sched import ClusterScheduler, alibaba_trace, mixed_trace, synthetic_trace
+from ..sched import (
+    CheckpointModel,
+    ClusterFleet,
+    ClusterScheduler,
+    GpuPoolSpec,
+    alibaba_trace,
+    inject_failures,
+    mixed_trace,
+    synthetic_trace,
+)
 from .harness import ScenarioResult, scenario
 
-__all__ = ["planner_grid", "sched_sim", "sched_sim_xl", "collocation_matrix"]
+__all__ = [
+    "planner_grid",
+    "sched_sim",
+    "sched_sim_xl",
+    "sched_sim_hetero",
+    "collocation_matrix",
+]
 
 
 def _cache_info(cache: Optional[ArtifactCache]) -> dict:
@@ -235,6 +256,117 @@ def sched_sim_xl(
             "bg_goodput": m.bg_goodput,
             "preemptions": float(m.preemptions),
             "replans": float(m.replans),
+        },
+        info=info,
+    )
+
+
+@scenario(
+    "sched_sim_hetero",
+    "Heterogeneous A100+V100 fleet under an injected host-failure storm",
+    pools=("a100:128", "v100:128"),
+    gpus_per_host=8,
+    num_jobs=1200,
+    seed=23,
+    policy="collocation",
+    trace="mixed",
+    fabric="nvswitch",
+    failures=6,
+    failure_seed=7,
+    failure_window=(60.0, 480.0),
+    mean_downtime=45.0,
+    checkpoint_interval_s=90.0,
+    restart_overhead_s=15.0,
+    cache_dir=None,
+)
+def sched_sim_hetero(
+    pools: Sequence[str],
+    gpus_per_host: int,
+    num_jobs: int,
+    seed: int,
+    policy: str,
+    trace: str,
+    fabric: str,
+    failures: int,
+    failure_seed: int,
+    failure_window: Sequence[float],
+    mean_downtime: float,
+    checkpoint_interval_s: float,
+    restart_overhead_s: float,
+    cache_dir: Optional[str],
+) -> ScenarioResult:
+    """Mixed-generation fleet + failure injection; ops = events processed.
+
+    ``pools`` entries are ``"<gpu spec>:<num gpus>"`` (specs resolved via
+    :func:`~repro.profiler.gpu_spec.get_gpu_spec`); each pool plans with its
+    own profiler/planner identity, so plans never alias across GPU types and
+    a persistent ``cache_dir`` serves both pools without cross-talk.  The
+    failure schedule is generated deterministically from ``failure_seed``,
+    and the checkpoint/restart cost model prices each failure in rolled-back
+    GPU-seconds plus a restart overhead.  Metric fingerprints are identical
+    across repeats and with the cache cold or warm.
+    """
+    if len(failure_window) != 2:
+        raise ValueError(
+            "failure_window needs exactly (start, end) seconds, got "
+            f"{list(failure_window)}"
+        )
+    pool_specs = []
+    for entry in pools:
+        spec_name, _, count = str(entry).partition(":")
+        if not count:
+            raise ValueError(
+                f"pool entry {entry!r} must look like '<gpu spec>:<num gpus>'"
+            )
+        pool_specs.append(
+            GpuPoolSpec(spec_name, get_gpu_spec(spec_name), int(count), gpus_per_host)
+        )
+    fleet = ClusterFleet(tuple(pool_specs))
+    jobs = _make_trace(trace, num_jobs, seed)
+    schedule = inject_failures(
+        fleet,
+        failures,
+        seed=failure_seed,
+        window=(failure_window[0], failure_window[1]),
+        mean_downtime=mean_downtime,
+    )
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    profiler = LayerProfiler(persistent_cache=cache)
+    planner = BurstParallelPlanner(get_fabric(fabric), profiler, cache=cache)
+    sched = ClusterScheduler(
+        fleet,
+        fabric=fabric,
+        profiler=profiler,
+        planner=planner,
+        checkpoint=CheckpointModel(checkpoint_interval_s, restart_overhead_s),
+    )
+    result = sched.run(jobs, policy, failures=schedule)
+    m = result.metrics
+    info = _cache_info(cache)
+    info.update(
+        num_gpus=fleet.num_gpus,
+        num_hosts=fleet.num_hosts,
+        speed_order=",".join(fleet.speed_order),
+        # Content identity of the fleet (declaration-order independent), so
+        # two artifacts are comparable at a glance even across param shapes.
+        fleet_fingerprint=fleet_fingerprint(fleet),
+    )
+    return ScenarioResult(
+        ops=result.events_processed,
+        metrics={
+            "jobs": float(m.num_jobs),
+            "failures": float(result.failures_injected),
+            "makespan_s": m.makespan,
+            "mean_jct_s": m.mean_jct,
+            "p95_jct_s": m.p95_jct,
+            "mean_queue_delay_s": m.mean_queue_delay,
+            "utilization": m.utilization,
+            "fg_goodput": m.fg_goodput,
+            "bg_goodput": m.bg_goodput,
+            "preemptions": float(m.preemptions),
+            "replans": float(m.replans),
+            "restarts": float(m.restarts),
+            "lost_gpu_seconds": m.lost_gpu_seconds,
         },
         info=info,
     )

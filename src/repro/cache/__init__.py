@@ -24,6 +24,7 @@ from .fingerprint import (
     canonical_json,
     fabric_fingerprint,
     fingerprint,
+    fleet_fingerprint,
     gpu_spec_fingerprint,
     graph_fingerprint,
     planner_config_fingerprint,
@@ -45,6 +46,7 @@ __all__ = [
     "fabric_fingerprint",
     "profiler_fingerprint",
     "planner_config_fingerprint",
+    "fleet_fingerprint",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "ArtifactCache",

@@ -31,6 +31,7 @@ __all__ = [
     "fabric_fingerprint",
     "profiler_fingerprint",
     "planner_config_fingerprint",
+    "fleet_fingerprint",
 ]
 
 
@@ -101,6 +102,21 @@ def profiler_fingerprint(profiler) -> str:
         profiler.use_cuda_graphs,
         profiler.dtype_bytes,
     )
+
+
+def fleet_fingerprint(fleet) -> str:
+    """Fingerprint of a :class:`~repro.sched.fleet.ClusterFleet`.
+
+    Pools are serialized sorted by name, so two fleets that differ only in
+    pool declaration order — which cannot change scheduling outcomes —
+    share a fingerprint, while any change to a pool's GPU spec, size or
+    host shape produces a new one.
+    """
+    payload = sorted(
+        [pool.name, asdict(pool.gpu), pool.num_gpus, pool.gpus_per_host]
+        for pool in fleet.pools
+    )
+    return fingerprint("fleet", payload)
 
 
 def planner_config_fingerprint(config) -> str:

@@ -14,7 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["GPUSpec", "A100_40GB", "A100_80GB", "V100_32GB", "get_gpu_spec"]
+__all__ = [
+    "GPUSpec",
+    "A100_40GB",
+    "A100_80GB",
+    "V100_32GB",
+    "H100_80GB",
+    "get_gpu_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -120,11 +127,28 @@ V100_32GB = GPUSpec(
     memory_capacity=32e9,
 )
 
+#: Hopper-generation spec for heterogeneous-fleet studies: roughly 2.5x the
+#: A100's sustained math throughput and ~2.2x its bandwidth, with slightly
+#: lower launch overheads (faster host interface).
+H100_80GB = GPUSpec(
+    name="H100-SXM5-80GB",
+    peak_flops=300e12,
+    memory_bandwidth=3.35e12,
+    num_sms=132,
+    blocks_per_sm=4,
+    kernel_launch_overhead=3.5e-6,
+    graph_launch_overhead=0.35e-6,
+    kernel_fixed_overhead=2.0e-6,
+    memory_capacity=80e9,
+)
+
 _SPECS = {
     "a100": A100_40GB,
     "a100-40gb": A100_40GB,
     "a100-80gb": A100_80GB,
     "v100": V100_32GB,
+    "h100": H100_80GB,
+    "h100-80gb": H100_80GB,
 }
 
 

@@ -12,11 +12,20 @@ Public API:
 * :mod:`~repro.sched.traces` — :class:`TraceJob` plus the
   :func:`synthetic_trace` and :func:`alibaba_trace` generators.
 * :mod:`~repro.sched.metrics` — :class:`JobRecord` and
-  :class:`FleetMetrics` (JCT distribution, makespan, utilization, goodput).
+  :class:`FleetMetrics` (JCT distribution, makespan, utilization, goodput,
+  failure losses).
+* :mod:`~repro.sched.fleet` — :class:`GpuPoolSpec` / :class:`ClusterFleet` /
+  :class:`FleetPool`: heterogeneous fleets of named GPU pools mapped onto
+  hosts.
+* :mod:`~repro.sched.failures` — :class:`NodeFailure` /
+  :class:`CheckpointModel` / :func:`inject_failures`: host failures and the
+  checkpoint/restart cost model.
 * :mod:`~repro.sched.events` — the :class:`EventQueue` primitives.
 """
 
 from .events import Event, EventKind, EventQueue, GpuPool
+from .failures import CheckpointModel, NodeFailure, inject_failures, validate_failures
+from .fleet import ClusterFleet, FleetPool, GpuPoolSpec
 from .metrics import FleetMetrics, JobRecord, percentile
 from .ordering import PendingQueue, SortedJobList
 from .policies import (
@@ -36,6 +45,13 @@ __all__ = [
     "EventKind",
     "EventQueue",
     "GpuPool",
+    "GpuPoolSpec",
+    "ClusterFleet",
+    "FleetPool",
+    "NodeFailure",
+    "CheckpointModel",
+    "inject_failures",
+    "validate_failures",
     "PendingQueue",
     "SortedJobList",
     "FleetMetrics",

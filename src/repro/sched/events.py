@@ -36,6 +36,8 @@ class EventKind(str, Enum):
 
     JOB_ARRIVAL = "arrival"
     JOB_FINISH = "finish"
+    NODE_FAILURE = "node-failure"
+    NODE_RECOVERY = "node-recovery"
 
 
 @dataclass(frozen=True)
@@ -49,13 +51,16 @@ class Event:
     seq:
         Monotonic sequence number; ties on ``time`` resolve in push order.
     kind:
-        Arrival or finish.
+        Arrival, finish, node failure, or node recovery.
     job_name:
-        Name of the job the event refers to.
+        Name of the job the event refers to (empty for node events).
     version:
         For finish events, the job-state version the event was scheduled
         against.  A mismatch when popped means the job was re-planned or
         preempted in the meantime and the event is stale.
+    host:
+        For node failure/recovery events, the fleet host id going down or
+        coming back (``-1`` for job events).
     """
 
     time: float
@@ -63,6 +68,7 @@ class Event:
     kind: EventKind
     job_name: str
     version: int = 0
+    host: int = -1
 
     def __lt__(self, other: "Event") -> bool:
         # seq is unique per queue, so (time, seq) is a strict total order.
@@ -86,7 +92,12 @@ class EventQueue:
         self.popped = 0
 
     def push(
-        self, time: float, kind: EventKind, job_name: str, version: int = 0
+        self,
+        time: float,
+        kind: EventKind,
+        job_name: str,
+        version: int = 0,
+        host: int = -1,
     ) -> Event:
         """Schedule an event and return it."""
         if time < 0:
@@ -97,6 +108,7 @@ class EventQueue:
             kind=kind,
             job_name=job_name,
             version=version,
+            host=host,
         )
         heapq.heappush(self._heap, event)
         self.pushed += 1
@@ -146,6 +158,26 @@ class GpuPool:
         """Return GPUs to the pool."""
         for gpu_id in gpu_ids:
             heapq.heappush(self._heap, gpu_id)
+
+    def remove(self, gpu_ids: Iterable[int]) -> List[int]:
+        """Take specific GPUs out of the pool (those present), sorted.
+
+        Used by node-failure handling: a failed host's *free* GPUs leave
+        the pool immediately (its busy GPUs are reclaimed when their
+        evicted jobs release them).  Ids not currently free are ignored.
+        Failures are rare, so the O(n) rebuild is acceptable — every other
+        mutation keeps strict heap discipline.
+        """
+        targets = set(gpu_ids)
+        removed = sorted(g for g in self._heap if g in targets)
+        if removed:
+            self._heap = [g for g in self._heap if g not in targets]
+            heapq.heapify(self._heap)
+        return removed
+
+    def ids(self) -> List[int]:
+        """Sorted ids of every free GPU (for integrity checks)."""
+        return sorted(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -61,6 +61,14 @@ class JobRecord:
         background job rides collocated on foreground GPUs).
     preemptions / replans:
         Times the job was preempted off its GPUs / re-planned to a new width.
+    gpu_pool:
+        Name of the fleet pool the job completed on (empty when the
+        scheduler predates fleets, e.g. records built by hand in tests).
+    restarts:
+        Times a node failure killed the job and forced a restart.
+    lost_gpu_seconds:
+        Useful GPU-seconds rolled back by failures (work since the last
+        checkpoint, re-done after each restart).
     """
 
     name: str
@@ -76,6 +84,9 @@ class JobRecord:
     allocated_gpu_seconds: float
     preemptions: int = 0
     replans: int = 0
+    gpu_pool: str = ""
+    restarts: int = 0
+    lost_gpu_seconds: float = 0.0
 
     @property
     def jct(self) -> float:
@@ -114,6 +125,8 @@ class FleetMetrics:
     bg_goodput: float
     preemptions: int
     replans: int
+    restarts: int = 0
+    lost_gpu_seconds: float = 0.0
 
     @property
     def total_goodput(self) -> float:
@@ -147,4 +160,6 @@ class FleetMetrics:
             bg_goodput=bg_samples / span,
             preemptions=sum(r.preemptions for r in records),
             replans=sum(r.replans for r in records),
+            restarts=sum(r.restarts for r in records),
+            lost_gpu_seconds=sum(r.lost_gpu_seconds for r in records),
         )

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple, Type
 
 __all__ = [
     "floor_pow2",
+    "width_cap",
     "SchedulingPolicy",
     "FIFOPolicy",
     "ShortestRemainingGPUSecondsPolicy",
@@ -45,6 +46,22 @@ def floor_pow2(value: int) -> int:
     return 1 << (value.bit_length() - 1)
 
 
+def width_cap(job, num_gpus: int) -> int:
+    """Hard cap on a job's GPU width within a pool of ``num_gpus``.
+
+    The pool size, the job's batch (a layer cannot split below one sample
+    per GPU), and the job's own ``max_gpus``.  Policies derive placement
+    widths from it, and the scheduler's prewarm/re-plan/migration paths
+    share it so the prewarmed plan set always covers exactly the widths
+    the scheduler can request.
+    """
+    return min(
+        num_gpus,
+        job.global_batch,
+        job.max_gpus if job.max_gpus is not None else num_gpus,
+    )
+
+
 class SchedulingPolicy(ABC):
     """Strategy interface consulted by the scheduler's event loop."""
 
@@ -59,6 +76,10 @@ class SchedulingPolicy(ABC):
     preempt_background: bool = False
     #: Re-plan running foreground jobs onto freed GPUs when the queue drains.
     replan_running: bool = False
+    #: When re-planning, also consider migrating a running foreground job to
+    #: a *different* (typically faster) GPU pool if that strictly improves
+    #: its iteration time.  Meaningless on homogeneous fleets.
+    replan_across_types: bool = False
     #: Whether ``sort_key`` depends on ``now`` (aging, deadlines...).  The
     #: scheduler keeps the pending queue sorted incrementally under keys
     #: computed at insertion; a policy whose keys drift with time must set
@@ -74,14 +95,23 @@ class SchedulingPolicy(ABC):
         once when the job enters the pending queue.
         """
 
+    def pool_preference(self, job, fleet) -> Tuple[str, ...]:
+        """Order in which the fleet's GPU pools are tried for ``job``.
+
+        Foreground jobs prefer the fastest pools (their iteration time is
+        the cluster's product) and fall back to slower pools on contention;
+        background jobs fill from the slowest pool up, keeping fast GPUs
+        available for foreground work.  On a homogeneous fleet both orders
+        collapse to the single pool, reproducing the pre-fleet behaviour.
+        """
+        order = fleet.speed_order
+        if job.is_foreground:
+            return order
+        return tuple(reversed(order))
+
     def desired_width(self, job, num_gpus: int) -> int:
         """Power-of-two GPU width the job would use on an empty cluster."""
-        cap = min(
-            num_gpus,
-            job.global_batch,
-            job.max_gpus if job.max_gpus is not None else num_gpus,
-        )
-        return max(1, floor_pow2(cap))
+        return max(1, floor_pow2(width_cap(job, num_gpus)))
 
     def width_for(
         self, job, free_gpus: int, num_gpus: int, pending_foreground: int = 1
@@ -143,6 +173,7 @@ class CollocationAwarePolicy(ShortestRemainingGPUSecondsPolicy):
     collocate_background = True
     preempt_background = True
     replan_running = True
+    replan_across_types = True
     #: Collocate a background job only when the slot's expected efficiency
     #: (fraction of its isolated throughput) is at least this much; below it,
     #: waiting for a dedicated GPU beats crawling beside a busy foreground.

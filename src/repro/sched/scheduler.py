@@ -22,21 +22,39 @@ The event loop supports the dynamics a real cluster manager needs:
   foreground work;
 * **re-planning** — when completions free GPUs and the queue is empty,
   policies may re-plan a running foreground job to a wider burst-parallel
-  plan, preserving its progress.
+  plan (or, on a heterogeneous fleet, migrate it to a faster pool),
+  preserving its progress;
+* **heterogeneity** — the cluster is a :class:`~repro.sched.fleet.ClusterFleet`
+  of named GPU pools (mixed generations).  Every pool gets its own
+  profiler/planner identity, plans and isolated-iteration times are derived
+  and cached per pool (no aliasing across GPU types), and policies place
+  foreground jobs fastest-pool-first with fallback to slower pools on
+  contention while background jobs fill from the slowest pool up;
+* **failures** — :class:`~repro.sched.failures.NodeFailure` events take whole
+  hosts down.  Jobs touching a failed host are killed, rolled back to their
+  last checkpoint under the scheduler's
+  :class:`~repro.sched.failures.CheckpointModel` (lost work is accounted as
+  ``lost_gpu_seconds``), their collocated guests are evicted and re-queued,
+  and restarted jobs pay a restart overhead at their next placement.
+  Recovery returns the host's GPUs to the free pool — never leaked, never
+  double-freed.
 
 Plans are cached by ``(model, batch, width, amplification limit)`` plus the
-planner's content fingerprint (so schedulers with different planner or
-profiler configurations can never alias plans), and the cache can be
-pre-warmed before replay via :meth:`ClusterScheduler.prewarm_plans` — batch
-planning every (model, width) a trace can request, optionally across worker
-processes through a :class:`~repro.core.planner.pool.PlannerPool`.
+owning pool planner's content fingerprint (so schedulers with different
+planner or profiler configurations — or two pools of different GPU
+generations — can never alias plans), and the cache can be pre-warmed before
+replay via :meth:`ClusterScheduler.prewarm_plans` — batch planning every
+(model, width) a trace can request, optionally across worker processes
+through a :class:`~repro.core.planner.pool.PlannerPool`.
 
 The placement pass is *incremental*: the pending queue, the running
 foreground jobs, the dedicated background jobs and each host's guests are
 kept in mutation-maintained order (:mod:`repro.sched.ordering`) instead of
 being re-sorted on every event, so one scheduling point costs O(changes ·
-log n), not O(n log n).  Everything is deterministic: identical traces and
-policies produce bit-identical :class:`~repro.sched.metrics.FleetMetrics`.
+log n), not O(n log n).  Everything is deterministic: identical traces,
+policies and failure schedules produce bit-identical
+:class:`~repro.sched.metrics.FleetMetrics` — and a homogeneous one-pool
+fleet reproduces the pre-fleet scheduler bit for bit.
 """
 
 from __future__ import annotations
@@ -53,10 +71,12 @@ from ..models.graph import ModelGraph
 from ..models.registry import build_model
 from ..network.fabric import NetworkFabric, get_fabric
 from ..profiler.layer_profiler import LayerProfiler
-from .events import EventKind, EventQueue, GpuPool
+from .events import EventKind, EventQueue
+from .failures import CheckpointModel, NodeFailure, validate_failures
+from .fleet import ClusterFleet, FleetPool
 from .metrics import FleetMetrics, JobRecord
 from .ordering import PendingQueue, SortedJobList
-from .policies import SchedulingPolicy, floor_pow2, get_policy
+from .policies import SchedulingPolicy, floor_pow2, get_policy, width_cap
 from .traces import TraceJob
 
 __all__ = ["ClusterScheduler", "ScheduleResult"]
@@ -75,7 +95,8 @@ class _JobState:
         self.trace = trace
         self.order = order
         self.graph = graph
-        #: Single-GPU time per iteration; the work estimate policies sort by.
+        #: Single-GPU time per iteration on the fleet's reference (fastest)
+        #: pool; the work estimate policies sort by.
         self.iso_iter_time = iso_iter_time
         self.status = _PENDING
         self.remaining = float(trace.iterations)
@@ -86,6 +107,7 @@ class _JobState:
         # Foreground placement state.
         self.width = 0
         self.gpu_ids: List[int] = []
+        self.gpu_type: Optional[str] = None  # fleet pool of the placement
         self.plan: Optional[TrainingPlan] = None
         self.base_iter_time = 0.0
         self.work_per_iteration = 0.0  # busy GPU-seconds per iteration
@@ -96,11 +118,21 @@ class _JobState:
         # Background placement state.
         self.host: Optional["_JobState"] = None
         self.host_index = 0
+        #: Isolated iteration time on the pool the job is placed on (equals
+        #: ``iso_iter_time`` on a homogeneous fleet).
+        self.placed_iso_time = iso_iter_time
+        # Failure / checkpoint state.
+        self.ckpt_remaining = float(trace.iterations)
+        self.next_checkpoint: Optional[float] = None
+        self.penalty_until = 0.0  # restart overhead window of the placement
+        self.pending_restart_penalty = 0.0  # owed at the next placement
         # Accounting.
         self.preemptions = 0
         self.replans = 0
+        self.restarts = 0
         self.busy_gpu_seconds = 0.0
         self.allocated_gpu_seconds = 0.0
+        self.lost_gpu_seconds = 0.0
 
     # Attributes policies read (duck-typed).
     @property
@@ -141,10 +173,12 @@ class ScheduleResult:
     num_gpus: int
     records: Tuple[JobRecord, ...]
     metrics: FleetMetrics
-    #: Events the simulation processed (arrivals, finishes, and stale
-    #: finishes discarded by lazy invalidation) — the run's deterministic
-    #: op count, reported by the benchmark harness.
+    #: Events the simulation processed (arrivals, finishes, node failures
+    #: and recoveries, and stale finishes discarded by lazy invalidation) —
+    #: the run's deterministic op count, reported by the benchmark harness.
     events_processed: int = 0
+    #: Node failures injected into the run.
+    failures_injected: int = 0
 
     def record(self, name: str) -> JobRecord:
         for r in self.records:
@@ -156,22 +190,34 @@ class ScheduleResult:
 class ClusterScheduler:
     """Discrete-event scheduler serving a trace of jobs on a GPU cluster.
 
-    One instance can run many (trace, policy) combinations; planner and
-    profiler caches persist across runs, so comparing policies on the same
-    trace only pays each burst-parallel plan search once.
+    The cluster is either homogeneous (``num_gpus`` identical GPUs matching
+    the profiler's spec — the legacy constructor) or a
+    :class:`~repro.sched.fleet.ClusterFleet` of named pools mixing GPU
+    generations.  One instance can run many (trace, policy, failures)
+    combinations; planner and profiler caches persist across runs, so
+    comparing policies on the same trace only pays each burst-parallel plan
+    search once.  Pools whose GPU spec matches the scheduler's profiler
+    share its profiler/planner (and therefore its caches); other pools get
+    per-pool instances with their own content fingerprints, so plans and
+    profiles can never alias across GPU types.
     """
 
     def __init__(
         self,
-        num_gpus: int,
+        num_gpus: Union[int, ClusterFleet],
         fabric: Union[NetworkFabric, str, None] = None,
         profiler: Optional[LayerProfiler] = None,
         planner: Optional[BurstParallelPlanner] = None,
         collocation: Optional[CollocationProfile] = None,
+        checkpoint: Optional[CheckpointModel] = None,
     ) -> None:
-        if num_gpus < 1:
-            raise ValueError("num_gpus must be at least 1")
-        self.num_gpus = num_gpus
+        fleet: Optional[ClusterFleet]
+        if isinstance(num_gpus, ClusterFleet):
+            fleet = num_gpus
+        else:
+            if num_gpus < 1:
+                raise ValueError("num_gpus must be at least 1")
+            fleet = None  # built below, once the profiler's GPU spec is known
         if fabric is None or isinstance(fabric, str):
             fabric = get_fabric(fabric if fabric is not None else "nvswitch")
         self.fabric = fabric
@@ -184,20 +230,33 @@ class ClusterScheduler:
         self.collocation = (
             collocation if collocation is not None else CollocationProfile()
         )
-        self._plan_cache: Dict[
-            Tuple[str, int, int, float, str], TrainingPlan
-        ] = {}
+        self.checkpoint = checkpoint if checkpoint is not None else CheckpointModel()
+        if fleet is None:
+            fleet = ClusterFleet.homogeneous(num_gpus, gpu=self.profiler.gpu)
+        self.fleet = fleet
+        self.num_gpus = fleet.num_gpus
+        #: Pools whose GPU spec matches ``self.profiler`` resolve to
+        #: ``self.planner`` / ``self.profiler`` dynamically, so swapping
+        #: either attribute after construction can never serve stale plans.
+        self._default_pools = {
+            pool.name for pool in fleet.pools if pool.gpu == self.profiler.gpu
+        }
+        self._reference_pool = fleet.speed_order[0]
+        self._pool_profilers: Dict[str, LayerProfiler] = {}
+        self._pool_planners: Dict[str, BurstParallelPlanner] = {}
+        self._plan_cache: Dict[Tuple[str, int, int, float, str], TrainingPlan] = {}
         self._graph_cache: Dict[str, ModelGraph] = {}
-        self._iso_cache: Dict[Tuple[str, int], float] = {}
+        self._iso_cache: Dict[Tuple[str, int, str], float] = {}
         self._states: Dict[str, _JobState] = {}
-        # Planner identity folded into plan-cache keys; memoized per planner
-        # object so swapping self.planner can never serve the old planner's
-        # plans.
-        self._planner_fp: Optional[str] = None
-        self._planner_fp_owner: Optional[BurstParallelPlanner] = None
+        # Planner identities folded into plan-cache keys; memoized per
+        # planner object so swapping a planner can never serve the old
+        # planner's plans.
+        self._planner_fps: Dict[int, Tuple[BurstParallelPlanner, str]] = {}
         # Mutation-maintained placement registries (re-bound per run).
         self._fg_running = SortedJobList()
         self._bg_dedicated = SortedJobList()
+        self._free = FleetPool(fleet)
+        self._track_failures = False
 
     # ------------------------------------------------------------------ caches
     def _graph(self, model: str) -> ModelGraph:
@@ -205,34 +264,79 @@ class ClusterScheduler:
             self._graph_cache[model] = build_model(model)
         return self._graph_cache[model]
 
-    def _iso_iter_time(self, model: str, batch: int) -> float:
-        key = (model, batch)
+    def _profiler_for(self, pool_name: str) -> LayerProfiler:
+        """The layer profiler modeling one pool's GPU generation."""
+        if pool_name in self._default_pools:
+            return self.profiler
+        prof = self._pool_profilers.get(pool_name)
+        if prof is None:
+            pool = self.fleet.pool(pool_name)
+            prof = LayerProfiler(
+                gpu=pool.gpu,
+                use_cuda_graphs=self.profiler.use_cuda_graphs,
+                dtype_bytes=self.profiler.dtype_bytes,
+                enable_cache=self.profiler.enable_cache,
+                persistent_cache=self.profiler.persistent_cache,
+            )
+            self._pool_profilers[pool_name] = prof
+        return prof
+
+    def _planner_for(self, pool_name: str) -> BurstParallelPlanner:
+        """The burst-parallel planner targeting one pool's GPU generation."""
+        if pool_name in self._default_pools:
+            return self.planner
+        planner = self._pool_planners.get(pool_name)
+        if planner is None:
+            planner = BurstParallelPlanner(
+                self.fabric,
+                self._profiler_for(pool_name),
+                config=self.planner.config,
+                cache=self.planner.cache,
+            )
+            self._pool_planners[pool_name] = planner
+        return planner
+
+    def _iso_time_on(self, model: str, batch: int, pool_name: str) -> float:
+        """Isolated single-GPU iteration time of a model on one pool."""
+        key = (model, batch, pool_name)
         if key not in self._iso_cache:
-            self._iso_cache[key] = self.profiler.iteration_compute_time(
+            self._iso_cache[key] = self._profiler_for(pool_name).iteration_compute_time(
                 self._graph(model), batch
             )
         return self._iso_cache[key]
 
-    def _planner_fingerprint(self) -> str:
-        if self._planner_fp is None or self._planner_fp_owner is not self.planner:
-            self._planner_fp = self.planner.fingerprint()
-            self._planner_fp_owner = self.planner
-        return self._planner_fp
+    def _iso_iter_time(self, model: str, batch: int) -> float:
+        """Isolated iteration time on the reference (fastest) pool."""
+        return self._iso_time_on(model, batch, self._reference_pool)
+
+    def _fingerprint_of(self, planner: BurstParallelPlanner) -> str:
+        entry = self._planner_fps.get(id(planner))
+        if entry is None or entry[0] is not planner:
+            entry = (planner, planner.fingerprint())
+            self._planner_fps[id(planner)] = entry
+        return entry[1]
 
     def _plan_cache_key(
-        self, model: str, batch: int, width: int, amp_limit: float
+        self,
+        model: str,
+        batch: int,
+        width: int,
+        amp_limit: float,
+        gpu_pool: Optional[str] = None,
     ) -> Tuple[str, int, int, float, str]:
-        return (model, batch, width, amp_limit, self._planner_fingerprint())
+        planner = self.planner if gpu_pool is None else self._planner_for(gpu_pool)
+        return (model, batch, width, amp_limit, self._fingerprint_of(planner))
 
-    def _plan_for(self, state: _JobState, width: int) -> TrainingPlan:
+    def _plan_for(self, state: _JobState, width: int, gpu_pool: str) -> TrainingPlan:
         key = self._plan_cache_key(
             state.trace.model,
             state.global_batch,
             width,
             state.trace.amplification_limit,
+            gpu_pool,
         )
         if key not in self._plan_cache:
-            self._plan_cache[key] = self.planner.plan(
+            self._plan_cache[key] = self._planner_for(gpu_pool).plan(
                 state.graph,
                 state.global_batch,
                 width,
@@ -245,95 +349,119 @@ class ClusterScheduler:
         trace: Sequence[TraceJob],
         pool: Optional[PlannerPool] = None,
     ) -> int:
-        """Plan every (model, width) the trace can request, before replay.
+        """Plan every (model, width, GPU pool) the trace can request.
 
         Every foreground job is expanded to the power-of-two widths its
-        policy could ever place it at (1 up to ``floor_pow2`` of its
-        GPU/batch/``max_gpus`` cap), the deduplicated requests are planned —
-        through ``pool`` (possibly multiprocess, possibly backed by a shared
-        persistent cache) when given, inline on this scheduler's planner
-        otherwise — and the results seed :attr:`_plan_cache` so trace replay
-        never stalls on a planner search.  Returns the number of plans
-        seeded.
+        policy could ever place it at on each fleet pool (1 up to
+        ``floor_pow2`` of the pool/batch/``max_gpus`` cap), the deduplicated
+        requests are planned — through ``pool`` (possibly multiprocess,
+        possibly backed by a shared persistent cache) when given, inline on
+        the per-pool planners otherwise — and the results seed
+        :attr:`_plan_cache` so trace replay never stalls on a planner
+        search.  Returns the number of plans seeded.
 
-        When a pool is used, its fabric/profiler/planner configuration must
-        match this scheduler's planner: the cache key identifies plans by
-        *this* planner's fingerprint, so a mismatched pool would seed
-        foreign plans under it.  The fingerprints are compared up front and
-        a mismatch raises ``ValueError``.  Pool results are deterministic
-        and independent of the worker count, so replay metrics are identical
-        whether the cache was warmed inline, by one worker, or by many.
+        A :class:`~repro.core.planner.pool.PlannerPool` plans for exactly
+        one GPU identity, so pool-backed prewarming requires a homogeneous
+        fleet and a pool whose fabric/profiler/planner fingerprint matches
+        this scheduler's planner; a mismatch raises ``ValueError``.  Pool
+        results are deterministic and independent of the worker count, so
+        replay metrics are identical whether the cache was warmed inline,
+        by one worker, or by many.
         """
         if pool is not None:
+            if not self.fleet.is_homogeneous:
+                raise ValueError(
+                    "PlannerPool-backed prewarming plans for a single GPU "
+                    "identity; a heterogeneous fleet must prewarm inline "
+                    "(pool=None)"
+                )
+            # Validate against the fleet pool's planner — the identity the
+            # seeded cache keys carry — not ``self.planner``, which models a
+            # different GPU whenever the single pool's spec diverges from
+            # the scheduler's profiler.
+            target = self._planner_for(self.fleet.pool_names[0])
             pool_fp = pool.planner().fingerprint()
-            if pool_fp != self._planner_fingerprint():
+            if pool_fp != self._fingerprint_of(target):
                 raise ValueError(
                     "PlannerPool configuration does not match this "
-                    "scheduler's planner (fabric/profiler/config fingerprints "
-                    "differ); prewarmed plans would alias under the wrong "
-                    "planner identity"
+                    "scheduler's planner for the fleet's GPU pool "
+                    "(fabric/profiler/config fingerprints differ); prewarmed "
+                    "plans would alias under the wrong planner identity"
                 )
-        requests: List[PlanRequest] = []
-        seen = set()
-        for job in trace:
-            if not job.is_foreground:
-                continue
-            cap = min(
-                self.num_gpus,
-                job.global_batch,
-                job.max_gpus if job.max_gpus is not None else self.num_gpus,
-            )
-            width = 1
-            top = floor_pow2(max(cap, 1))
-            while width <= top:
-                request = PlanRequest(
-                    job.model, job.global_batch, width, job.amplification_limit
-                )
-                if request not in seen:
-                    seen.add(request)
-                    requests.append(request)
-                width *= 2
-        if pool is not None:
-            plans = pool.plan_batch(requests)
-        else:
-            plans = [
-                self.planner.plan(
-                    self._graph(r.model),
-                    r.global_batch,
-                    r.total_gpus,
-                    amplification_limit=r.amplification_limit,
-                )
-                for r in requests
-            ]
         seeded = 0
-        for request, plan in zip(requests, plans):
-            key = self._plan_cache_key(
-                request.model,
-                request.global_batch,
-                request.total_gpus,
-                request.amplification_limit,
-            )
-            if key not in self._plan_cache:
-                self._plan_cache[key] = plan
-                seeded += 1
+        for pool_name in self.fleet.pool_names:
+            pool_gpus = self.fleet.pool(pool_name).num_gpus
+            requests: List[PlanRequest] = []
+            seen = set()
+            for job in trace:
+                if not job.is_foreground:
+                    continue
+                cap = width_cap(job, pool_gpus)
+                width = 1
+                top = floor_pow2(max(cap, 1))
+                while width <= top:
+                    request = PlanRequest(
+                        job.model, job.global_batch, width, job.amplification_limit
+                    )
+                    if request not in seen:
+                        seen.add(request)
+                        requests.append(request)
+                    width *= 2
+            if pool is not None:
+                plans = pool.plan_batch(requests)
+            else:
+                planner = self._planner_for(pool_name)
+                plans = [
+                    planner.plan(
+                        self._graph(r.model),
+                        r.global_batch,
+                        r.total_gpus,
+                        amplification_limit=r.amplification_limit,
+                    )
+                    for r in requests
+                ]
+            for request, plan in zip(requests, plans):
+                key = self._plan_cache_key(
+                    request.model,
+                    request.global_batch,
+                    request.total_gpus,
+                    request.amplification_limit,
+                    pool_name,
+                )
+                if key not in self._plan_cache:
+                    self._plan_cache[key] = plan
+                    seeded += 1
         return seeded
 
     # --------------------------------------------------------------- event loop
     def run(
-        self, trace: Sequence[TraceJob], policy: Union[str, SchedulingPolicy]
+        self,
+        trace: Sequence[TraceJob],
+        policy: Union[str, SchedulingPolicy],
+        failures: Sequence[NodeFailure] = (),
     ) -> ScheduleResult:
-        """Simulate the whole trace under one policy and return its metrics."""
+        """Simulate the whole trace under one policy and return its metrics.
+
+        ``failures`` is an optional schedule of
+        :class:`~repro.sched.failures.NodeFailure` events (see
+        :func:`~repro.sched.failures.inject_failures`); each one takes a
+        host down at its time and brings it back after its duration.
+        """
         policy = get_policy(policy)
         if not trace:
             raise ValueError("trace must contain at least one job")
         names = [job.name for job in trace]
         if len(set(names)) != len(names):
             raise ValueError("trace job names must be unique")
+        ordered_failures = validate_failures(self.fleet, failures) if failures else []
+        self._track_failures = bool(ordered_failures)
 
         states: Dict[str, _JobState] = {}
         for order, job in enumerate(trace):
             states[job.name] = _JobState(
-                job, order, self._graph(job.model),
+                job,
+                order,
+                self._graph(job.model),
                 self._iso_iter_time(job.model, job.global_batch),
             )
         # Per-run registries the placement helpers consult (re-bound every
@@ -345,8 +473,14 @@ class ClusterScheduler:
         queue = EventQueue()
         for job in trace:
             queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.name)
+        for failure in ordered_failures:
+            queue.push(failure.time, EventKind.NODE_FAILURE, "", host=failure.host)
+            queue.push(
+                failure.recovery_time, EventKind.NODE_RECOVERY, "", host=failure.host
+            )
 
-        free = GpuPool(range(self.num_gpus))
+        free = FleetPool(self.fleet)
+        self._free = free  # exposed for integrity checks in tests
         pending = PendingQueue(policy)
         records: List[JobRecord] = []
         first_arrival = min(job.arrival_time for job in trace)
@@ -354,19 +488,24 @@ class ClusterScheduler:
 
         while queue:
             event = queue.pop()
-            state = states[event.job_name]
             now = event.time
             if event.kind is EventKind.JOB_ARRIVAL:
+                state = states[event.job_name]
                 state.last_update = now
                 pending.add(state, now)
+            elif event.kind is EventKind.NODE_FAILURE:
+                self._fail_host(event.host, now, free, pending)
+            elif event.kind is EventKind.NODE_RECOVERY:
+                free.recover_host(event.host)
             else:
+                state = states[event.job_name]
                 if state.status != _RUNNING or event.version != state.version:
                     continue  # stale finish event (job was re-planned/preempted)
                 self._finish(state, now, free, pending, queue, records)
                 last_finish = max(last_finish, now)
             self._schedule_pending(now, pending, free, policy, queue)
             if policy.replan_running and not pending and free:
-                self._expand_running(now, free, queue)
+                self._expand_running(now, free, policy, queue)
 
         unfinished = [s.name for s in states.values() if s.status != _DONE]
         if unfinished:
@@ -385,6 +524,7 @@ class ClusterScheduler:
             records=tuple(records),
             metrics=metrics,
             events_processed=queue.popped,
+            failures_injected=len(ordered_failures),
         )
 
     # ---------------------------------------------------------------- progress
@@ -395,17 +535,41 @@ class ClusterScheduler:
 
     def _advance(self, state: _JobState, now: float) -> None:
         """Account progress since the job's last update."""
-        elapsed = now - state.last_update
+        start = state.last_update
         state.last_update = now
-        if state.status != _RUNNING or elapsed <= 0:
+        if state.status != _RUNNING or now - start <= 0:
             return
-        done = min(state.remaining, elapsed * state.rate)
-        state.remaining -= done
+        # A restarted job makes no progress until its restart overhead
+        # (``penalty_until``) has elapsed; it holds its GPUs throughout.
+        if state.penalty_until > start:
+            effective = max(0.0, now - state.penalty_until)
+        else:
+            effective = now - start
+        before = state.remaining
+        done = min(before, effective * state.rate)
+        if (
+            self._track_failures
+            and state.next_checkpoint is not None
+            and state.next_checkpoint <= now
+        ):
+            # Snapshot the remaining work at the *latest* checkpoint instant
+            # the window covers (earlier ones are superseded, so they are
+            # never materialized); a failure rolls back to this snapshot.
+            interval = self.checkpoint.interval_s
+            begin = max(start, state.penalty_until)
+            steps = int((now - state.next_checkpoint) // interval)
+            last = state.next_checkpoint + steps * interval
+            if last > now:  # floating-point guard at the window boundary
+                last -= interval
+            at_ckpt = min(before, max(0.0, last - begin) * state.rate)
+            state.ckpt_remaining = before - at_ckpt
+            state.next_checkpoint = last + interval
+        state.remaining = before - done
         state.busy_gpu_seconds += done * state.work_per_iteration
         if state.is_foreground:
-            state.allocated_gpu_seconds += elapsed * state.width
+            state.allocated_gpu_seconds += (now - start) * state.width
         elif not state.collocated:
-            state.allocated_gpu_seconds += elapsed
+            state.allocated_gpu_seconds += now - start
         # The job's remaining work moved: keep its registry position honest.
         if state in self._fg_running:
             self._fg_running.rekey(state, self._work_key(state))
@@ -425,8 +589,8 @@ class ClusterScheduler:
                 (1.0 - busy) * profile.bg_idle_efficiency
                 + busy * profile.bg_busy_efficiency
             )
-            return efficiency / state.iso_iter_time
-        return 1.0 / state.iso_iter_time
+            return efficiency / state.placed_iso_time
+        return 1.0 / state.placed_iso_time
 
     def _reschedule_finish(
         self, state: _JobState, now: float, queue: EventQueue
@@ -435,7 +599,51 @@ class ClusterScheduler:
         state.version += 1
         state.rate = self._current_rate(state)
         finish = now + state.remaining / state.rate
+        if state.penalty_until > now:
+            finish += state.penalty_until - now
         queue.push(finish, EventKind.JOB_FINISH, state.name, state.version)
+
+    def _begin_placement(self, state: _JobState, now: float) -> None:
+        """Common bookkeeping when a job starts (or restarts) running."""
+        state.status = _RUNNING
+        if state.start_time is None:
+            state.start_time = now
+        state.last_update = now
+        if self._track_failures:
+            begin = now
+            if state.pending_restart_penalty > 0.0:
+                state.penalty_until = now + state.pending_restart_penalty
+                state.pending_restart_penalty = 0.0
+                begin = state.penalty_until
+            else:
+                state.penalty_until = 0.0
+            # Placement snapshots progress by construction (evictions keep
+            # it), so the checkpoint clock restarts here.
+            self._snapshot_checkpoint(state, begin)
+
+    def _snapshot_checkpoint(self, state: _JobState, begin: float) -> None:
+        """Checkpoint the job's progress now; a rollback returns here.
+
+        Called at every (re)configuration that serializes the job's state —
+        placement, re-plan, migration — so ``work_per_iteration`` is always
+        constant between the snapshot and any rollback that prices the lost
+        iterations with it.
+        """
+        state.ckpt_remaining = state.remaining
+        state.next_checkpoint = begin + self.checkpoint.interval_s
+
+    @staticmethod
+    def _suspend_restart_penalty(state: _JobState, now: float) -> None:
+        """Bank the unpaid part of a restart-overhead window on eviction.
+
+        A restarted job pays ``restart_overhead_s`` of dead time after its
+        placement; if it is evicted or killed mid-window, the unpaid
+        remainder is owed again at its next placement instead of being
+        silently forgiven.
+        """
+        if state.penalty_until > now:
+            state.pending_restart_penalty += state.penalty_until - now
+        state.penalty_until = 0.0
 
     # --------------------------------------------------------------- placement
     def _install_plan(self, state: _JobState, plan: TrainingPlan) -> None:
@@ -449,31 +657,31 @@ class ClusterScheduler:
         state.width = plan.total_gpus
 
     def _start_foreground(
-        self, state: _JobState, width: int, now: float, free: GpuPool,
-        queue: EventQueue,
+        self, state: _JobState, width: int, gpu_pool: str, now: float,
+        free: FleetPool, queue: EventQueue,
     ) -> None:
-        self._install_plan(state, self._plan_for(state, width))
-        state.gpu_ids = free.take(width)
+        self._install_plan(state, self._plan_for(state, width, gpu_pool))
+        state.gpu_ids = free.take(gpu_pool, width)
+        state.gpu_type = gpu_pool
         state.hosted = {}
         state.guest_order = SortedJobList()
-        state.status = _RUNNING
-        if state.start_time is None:
-            state.start_time = now
-        state.last_update = now
+        self._begin_placement(state, now)
         self._fg_running.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
 
     def _start_background_dedicated(
-        self, state: _JobState, now: float, free: GpuPool, queue: EventQueue
+        self, state: _JobState, gpu_pool: str, now: float, free: FleetPool,
+        queue: EventQueue,
     ) -> None:
         state.width = 1
-        state.gpu_ids = free.take(1)
+        state.gpu_ids = free.take(gpu_pool, 1)
+        state.gpu_type = gpu_pool
         state.host = None
-        state.work_per_iteration = state.iso_iter_time
-        state.status = _RUNNING
-        if state.start_time is None:
-            state.start_time = now
-        state.last_update = now
+        state.placed_iso_time = self._iso_time_on(
+            state.trace.model, state.global_batch, gpu_pool
+        )
+        state.work_per_iteration = state.placed_iso_time
+        self._begin_placement(state, now)
         self._bg_dedicated.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
 
@@ -489,11 +697,13 @@ class ClusterScheduler:
         state.host_index = index
         state.width = 1
         state.gpu_ids = [host.gpu_ids[index]]
-        state.work_per_iteration = state.iso_iter_time
-        state.status = _RUNNING
-        if state.start_time is None:
-            state.start_time = now
-        state.last_update = now
+        state.gpu_type = host.gpu_type
+        assert host.gpu_type is not None
+        state.placed_iso_time = self._iso_time_on(
+            state.trace.model, state.global_batch, host.gpu_type
+        )
+        state.work_per_iteration = state.placed_iso_time
+        self._begin_placement(state, now)
         self._reschedule_finish(state, now, queue)
         if first_guest:
             # The foreground host now pays the collocation slowdown.
@@ -529,38 +739,110 @@ class ClusterScheduler:
         return best[3], best[2]
 
     def _detach_background(
-        self, state: _JobState, now: float, pending: PendingQueue
+        self, state: _JobState, now: float, pending: PendingQueue,
+        rollback: bool = False,
     ) -> None:
-        """Return a collocated background job to the pending queue."""
+        """Return a collocated background job to the pending queue.
+
+        ``rollback=True`` marks the detachment as failure-induced: the
+        guest's own GPU died, so its progress rolls back to the last
+        checkpoint and it owes a restart.
+        """
         self._advance(state, now)
+        if self._track_failures:
+            self._suspend_restart_penalty(state, now)
+        if rollback:
+            self._rollback_to_checkpoint(state)
         assert state.host is not None
         del state.host.hosted[state.host_index]
         state.host.guest_order.remove(state)
         state.host = None
         state.gpu_ids = []
+        state.gpu_type = None
         state.status = _PENDING
         state.version += 1  # invalidate the in-flight finish event
         pending.add(state, now)
 
     def _preempt_background(
-        self, state: _JobState, now: float, free: GpuPool,
+        self, state: _JobState, now: float, free: FleetPool,
         pending: PendingQueue,
     ) -> None:
         """Evict a dedicated background job, keeping its progress."""
         self._bg_dedicated.remove(state)
         self._advance(state, now)
+        if self._track_failures:
+            self._suspend_restart_penalty(state, now)
         free.release(state.gpu_ids)
         state.gpu_ids = []
+        state.gpu_type = None
         state.status = _PENDING
         state.version += 1
         state.preemptions += 1
         pending.add(state, now)
 
+    # ---------------------------------------------------------------- failures
+    def _rollback_to_checkpoint(self, state: _JobState) -> None:
+        """Lose the work since the last checkpoint and owe a restart."""
+        lost = state.ckpt_remaining - state.remaining
+        if lost > 0:
+            wasted = lost * state.work_per_iteration
+            state.remaining = state.ckpt_remaining
+            state.busy_gpu_seconds -= wasted
+            state.lost_gpu_seconds += wasted
+        state.restarts += 1
+        state.pending_restart_penalty = self.checkpoint.restart_overhead_s
+
+    def _fail_running(
+        self, state: _JobState, now: float, free: FleetPool, pending: PendingQueue
+    ) -> None:
+        """Kill a running job hit by a node failure and re-queue it.
+
+        The caller has already removed the job from its registry (and
+        evicted any guests).  Surviving GPUs return to the free pool;
+        GPUs on the failed host are absorbed until recovery.
+        """
+        self._advance(state, now)
+        self._suspend_restart_penalty(state, now)  # superseded by the rollback
+        self._rollback_to_checkpoint(state)
+        free.release(state.gpu_ids)
+        state.gpu_ids = []
+        state.gpu_type = None
+        if state.is_foreground:
+            state.hosted = {}
+            state.guest_order = SortedJobList()
+        state.status = _PENDING
+        state.version += 1
+        pending.add(state, now)
+
+    def _fail_host(
+        self, host: int, now: float, free: FleetPool, pending: PendingQueue
+    ) -> None:
+        """Take one host down: kill and re-queue everything it touches."""
+        down = set(free.fail_host(host))
+        affected_fg = [
+            s for s in list(self._fg_running) if not down.isdisjoint(s.gpu_ids)
+        ]
+        for state in affected_fg:
+            # Guests are evicted first: one whose specific GPU died rolls
+            # back like its host; one on a surviving GPU just loses its slot.
+            for guest in list(state.guest_order):
+                guest_died = bool(guest.gpu_ids) and guest.gpu_ids[0] in down
+                self._detach_background(guest, now, pending, rollback=guest_died)
+            self._fg_running.remove(state)
+            self._fail_running(state, now, free, pending)
+        affected_bg = [
+            s for s in list(self._bg_dedicated) if not down.isdisjoint(s.gpu_ids)
+        ]
+        for state in affected_bg:
+            self._bg_dedicated.remove(state)
+            self._fail_running(state, now, free, pending)
+
     # --------------------------------------------------------------- completion
     def _finish(
-        self, state: _JobState, now: float, free: GpuPool,
+        self, state: _JobState, now: float, free: FleetPool,
         pending: PendingQueue, queue: EventQueue, records: List[JobRecord],
     ) -> None:
+        gpu_pool = state.gpu_type or ""
         if state.is_foreground:
             self._fg_running.remove(state)
         elif not state.collocated:
@@ -602,12 +884,15 @@ class ClusterScheduler:
                 allocated_gpu_seconds=state.allocated_gpu_seconds,
                 preemptions=state.preemptions,
                 replans=state.replans,
+                gpu_pool=gpu_pool,
+                restarts=state.restarts,
+                lost_gpu_seconds=state.lost_gpu_seconds,
             )
         )
 
     # -------------------------------------------------------------- scheduling
     def _schedule_pending(
-        self, now: float, pending: PendingQueue, free: GpuPool,
+        self, now: float, pending: PendingQueue, free: FleetPool,
         policy: SchedulingPolicy, queue: EventQueue,
     ) -> None:
         """Place pending jobs until the policy makes no further progress.
@@ -615,7 +900,9 @@ class ClusterScheduler:
         The queue is already in policy order (keys maintained on insertion),
         so one pass costs O(pending) instead of O(pending log pending);
         policies with time-varying keys declare ``dynamic_priority`` and are
-        re-keyed here before each pass.
+        re-keyed here before each pass.  Foreground jobs try the fleet's
+        pools in the policy's preference order (fastest first by default),
+        falling back to slower pools when the fast ones are contended.
         """
         while pending:
             if policy.dynamic_priority:
@@ -625,14 +912,25 @@ class ClusterScheduler:
             waiting_fg = pending.foreground_waiting
             for state in order:
                 if state.is_foreground:
-                    desired = policy.desired_width(state, self.num_gpus)
-                    if policy.preempt_background and len(free) < desired:
-                        self._preempt_for(desired, now, free, pending)
-                    width = policy.width_for(
-                        state, len(free), self.num_gpus, waiting_fg
-                    )
+                    placement: Optional[Tuple[str, int]] = None
+                    for pool_name in policy.pool_preference(state, self.fleet):
+                        pool_gpus = self.fleet.pool(pool_name).num_gpus
+                        desired = policy.desired_width(state, pool_gpus)
+                        if (
+                            policy.preempt_background
+                            and free.free_of(pool_name) < desired
+                        ):
+                            self._preempt_for(
+                                desired, pool_name, now, free, pending
+                            )
+                        width = policy.width_for(
+                            state, free.free_of(pool_name), pool_gpus, waiting_fg
+                        )
+                        if width is not None:
+                            placement = (pool_name, width)
+                            break
                     waiting_fg -= 1  # this job's share is settled either way
-                    if width is None:
+                    if placement is None:
                         if policy.strict_order:
                             break
                         continue
@@ -640,7 +938,9 @@ class ClusterScheduler:
                     # job placed earlier in this pass may be preempted later
                     # in the same pass and must be free to re-enter it.
                     pending.remove(state)
-                    self._start_foreground(state, width, now, free, queue)
+                    self._start_foreground(
+                        state, placement[1], placement[0], now, free, queue
+                    )
                     placed += 1
                 else:
                     if self._place_background(state, now, free, policy, queue):
@@ -652,35 +952,42 @@ class ClusterScheduler:
                 break
 
     def _preempt_for(
-        self, desired: int, now: float, free: GpuPool,
+        self, desired: int, gpu_pool: str, now: float, free: FleetPool,
         pending: PendingQueue,
     ) -> None:
         """Evict the fewest dedicated background jobs that widen a placement.
 
         Widths are powers of two, so eviction only helps when it lifts
-        ``floor_pow2`` of the free pool; preempting beyond that (or when even
-        evicting every victim would not reach the next power of two) only
-        churns background jobs without changing the foreground placement.
+        ``floor_pow2`` of the pool's free count; preempting beyond that (or
+        when even evicting every victim would not reach the next power of
+        two) only churns background jobs without changing the foreground
+        placement.  Only victims running *on the contended pool* are
+        considered — evicting a background job from another pool frees the
+        wrong kind of GPU.
 
         The victim registry is maintained most-remaining-work-first, so the
         eviction order needs no sort.
         """
-        victims = list(self._bg_dedicated)
-        attainable = min(desired, floor_pow2(len(free) + len(victims)))
-        needed = attainable - len(free)
-        if attainable <= floor_pow2(len(free)) or needed <= 0:
+        victims = [s for s in self._bg_dedicated if s.gpu_type == gpu_pool]
+        free_gpus = free.free_of(gpu_pool)
+        attainable = min(desired, floor_pow2(free_gpus + len(victims)))
+        needed = attainable - free_gpus
+        if attainable <= floor_pow2(free_gpus) or needed <= 0:
             return
         for victim in victims[:needed]:
             self._preempt_background(victim, now, free, pending)
 
     def _place_background(
-        self, state: _JobState, now: float, free: GpuPool,
+        self, state: _JobState, now: float, free: FleetPool,
         policy: SchedulingPolicy, queue: EventQueue,
     ) -> bool:
-        # A whole free GPU always beats sharing one with a foreground job.
-        if free:
-            self._start_background_dedicated(state, now, free, queue)
-            return True
+        # A whole free GPU always beats sharing one with a foreground job;
+        # background jobs fill from the policy's least-preferred-first order
+        # (slowest pool first by default).
+        for pool_name in policy.pool_preference(state, self.fleet):
+            if free.free_of(pool_name):
+                self._start_background_dedicated(state, pool_name, now, free, queue)
+                return True
         if policy.collocate_background:
             min_efficiency = getattr(policy, "min_collocation_efficiency", 0.0)
             host = self._pick_background_host(
@@ -692,45 +999,91 @@ class ClusterScheduler:
         return False
 
     def _expand_running(
-        self, now: float, free: GpuPool, queue: EventQueue
+        self, now: float, free: FleetPool, policy: SchedulingPolicy,
+        queue: EventQueue,
     ) -> None:
         """Re-plan running foreground jobs onto freed GPUs (widest win first).
 
         ``_fg_running`` is maintained most-remaining-work-first, so scanning
-        it in order and taking the first expandable job reproduces the old
-        sort-then-pick without re-sorting per freed GPU.
+        it in order and taking the first improvable job reproduces the old
+        sort-then-pick without re-sorting per freed GPU.  A job first tries
+        to widen within its own pool; when the policy allows
+        ``replan_across_types`` (and the job hosts no guests, whose GPU
+        slots a migration would destroy), it may instead migrate to another
+        pool whose plan strictly beats its current iteration time.  Every
+        action strictly lowers some job's iteration time over a finite set
+        of (pool, width) plans, so the loop terminates.
         """
         while free:
             expanded = False
             for state in list(self._fg_running):
-                cap = min(
-                    self.num_gpus,
-                    state.global_batch,
-                    state.max_gpus if state.max_gpus is not None else self.num_gpus,
-                )
-                if state.width >= cap:
-                    continue
-                new_width = min(floor_pow2(state.width + len(free)), floor_pow2(cap))
-                if new_width <= state.width:
-                    continue
-                plan = self._plan_for(state, new_width)
-                if plan.iteration_time >= state.base_iter_time:
-                    continue  # wider is not faster for this job; keep as is
-                self._replan(state, plan, new_width, now, free, queue)
-                expanded = True
-                break
+                own = state.gpu_type
+                assert own is not None
+                own_gpus = self.fleet.pool(own).num_gpus
+                cap = width_cap(state, own_gpus)
+                if state.width < cap:
+                    new_width = min(
+                        floor_pow2(state.width + free.free_of(own)), floor_pow2(cap)
+                    )
+                    if new_width > state.width:
+                        plan = self._plan_for(state, new_width, own)
+                        if plan.iteration_time < state.base_iter_time:
+                            self._replan(state, plan, new_width, now, free, queue)
+                            expanded = True
+                            break
+                if policy.replan_across_types and not state.hosted:
+                    migrated = self._try_migrate(state, now, free, queue)
+                    if migrated:
+                        expanded = True
+                        break
             if not expanded:
                 return
 
+    def _try_migrate(
+        self, state: _JobState, now: float, free: FleetPool, queue: EventQueue
+    ) -> bool:
+        """Move a job to another pool when that strictly beats its plan."""
+        for pool_name in self.fleet.speed_order:
+            if pool_name == state.gpu_type:
+                continue
+            pool_gpus = self.fleet.pool(pool_name).num_gpus
+            cap = width_cap(state, pool_gpus)
+            width = min(floor_pow2(free.free_of(pool_name)), floor_pow2(cap))
+            if width < 1:
+                continue
+            plan = self._plan_for(state, width, pool_name)
+            if plan.iteration_time >= state.base_iter_time:
+                continue
+            self._advance(state, now)
+            free.release(state.gpu_ids)
+            state.gpu_ids = free.take(pool_name, width)
+            state.gpu_type = pool_name
+            self._install_plan(state, plan)
+            if self._track_failures:
+                # Migration serializes the job's state: checkpoint here so a
+                # rollback never prices old iterations at the new plan's
+                # per-iteration cost.
+                self._snapshot_checkpoint(state, max(now, state.penalty_until))
+            state.replans += 1
+            self._reschedule_finish(state, now, queue)
+            return True
+        return False
+
     def _replan(
         self, state: _JobState, plan: TrainingPlan, new_width: int, now: float,
-        free: GpuPool, queue: EventQueue,
+        free: FleetPool, queue: EventQueue,
     ) -> None:
         """Move a running foreground job to a wider plan, keeping progress."""
         self._advance(state, now)
-        extra = free.take(new_width - state.width)
+        assert state.gpu_type is not None
+        extra = free.take(state.gpu_type, new_width - state.width)
         state.gpu_ids = state.gpu_ids + extra
         self._install_plan(state, plan)
+        if self._track_failures:
+            # Re-planning serializes the job's state: checkpoint here so a
+            # rollback never prices old iterations at the new plan's
+            # per-iteration cost.
+            self._snapshot_checkpoint(state, max(now, state.penalty_until))
         state.replans += 1
         self._reschedule_finish(state, now, queue)
         # Guests keep their GPU slot but their host's gaps moved.

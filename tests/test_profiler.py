@@ -40,7 +40,7 @@ class TestGPUSpec:
         assert get_gpu_spec("a100") is A100_40GB
         assert get_gpu_spec("V100") is V100_32GB
         with pytest.raises(KeyError):
-            get_gpu_spec("h100")
+            get_gpu_spec("b200")
 
     def test_invalid_spec_rejected(self):
         with pytest.raises(ValueError):
