@@ -71,6 +71,31 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_line(artifact) -> str:
+    """Per-scenario ``--verbose`` progress line (name, wall time, op count).
+
+    The trailing counters come from the artifact's ``info["counters"]``
+    registry delta — the three largest movers, a quick read on where the
+    scenario spent its work.
+    """
+    line = (
+        f"[done] {artifact.name}: wall={artifact.wall_time_s:.3f}s "
+        f"ops={artifact.ops}"
+    )
+    counters = artifact.info.get("counters") or {}
+    movers = sorted(
+        (
+            (key, value)
+            for key, value in counters.items()
+            if isinstance(value, int)
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )[:3]
+    if movers:
+        line += " | " + " ".join(f"{k}={v}" for k, v in movers)
+    return line
+
+
 def _write_and_report(artifacts, out_dir) -> None:
     for artifact in artifacts:
         path = artifact.write(out_dir)
@@ -130,7 +155,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"no selected scenario has parameter(s): {', '.join(unknown)}"
         )
-    _write_and_report(run_jobs(jobs, processes=args.processes), args.out)
+    on_result = None
+    if args.verbose:
+        def on_result(artifact) -> None:
+            print(_progress_line(artifact), flush=True)
+    _write_and_report(
+        run_jobs(jobs, processes=args.processes, on_result=on_result), args.out
+    )
     return 0
 
 
@@ -165,6 +196,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         max_time_regress_pct=args.max_time_regress,
         ops_tolerance_pct=args.ops_tolerance,
         ignore_time=args.ignore_time,
+        require_counters=args.require_counters,
     )
     print(format_report(comparison))
     if args.write_baselines is not None:
@@ -215,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persistent artifact cache for cache-aware scenarios",
     )
+    run_p.add_argument(
+        "--verbose", action="store_true",
+        help="print a progress line (wall time, ops, top counters) as each "
+        "scenario finishes",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="run one scenario over a parameter grid")
@@ -250,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--ignore-time", action="store_true",
         help="skip wall-time checks (cross-machine comparisons)",
+    )
+    cmp_p.add_argument(
+        "--require-counters", action="store_true",
+        help="fail current artifacts whose info block has no counters "
+        "(observability registry wiring check)",
     )
     cmp_p.add_argument(
         "--write-baselines", nargs="?", const="benchmarks/baselines",

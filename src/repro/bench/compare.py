@@ -28,10 +28,11 @@ DEFAULT_MAX_TIME_REGRESS_PCT = 10.0
 
 #: Scenario parameters that describe the *execution environment* rather than
 #: the workload: where the persistent cache lives, how many planner workers
-#: warmed it.  Results are proven independent of them (the determinism
-#: regression tests), so a CI run pointing at its own cache directory still
-#: gates cleanly against a baseline recorded with none.
-ENVIRONMENT_PARAMS = frozenset({"cache_dir", "planner_processes"})
+#: warmed it, where an observability trace is written.  Results are proven
+#: independent of them (the determinism regression tests), so a CI run
+#: pointing at its own cache directory still gates cleanly against a
+#: baseline recorded with none.
+ENVIRONMENT_PARAMS = frozenset({"cache_dir", "planner_processes", "trace_out"})
 
 
 def _workload_params(params: Dict[str, object]) -> Dict[str, object]:
@@ -89,8 +90,15 @@ def compare_artifacts(
     max_time_regress_pct: float = DEFAULT_MAX_TIME_REGRESS_PCT,
     ops_tolerance_pct: float = 0.0,
     ignore_time: bool = False,
+    require_counters: bool = False,
 ) -> Comparison:
-    """Diff ``current`` against ``baseline`` and return per-scenario verdicts."""
+    """Diff ``current`` against ``baseline`` and return per-scenario verdicts.
+
+    ``require_counters`` additionally fails any *current* artifact whose
+    ``info`` block lacks a non-empty ``counters`` entry — CI's check that
+    the observability registry stays wired through the harness.  Baselines
+    are exempt (they may predate the registry).
+    """
     if max_time_regress_pct < 0:
         raise ValueError("max_time_regress_pct must be non-negative")
     if ops_tolerance_pct < 0:
@@ -119,6 +127,15 @@ def compare_artifacts(
         if _workload_params(base.params) != _workload_params(cur.params):
             rows.append(
                 ComparisonRow(name, False, "scenario params differ; not comparable")
+            )
+            continue
+        if require_counters and not cur.info.get("counters"):
+            rows.append(
+                ComparisonRow(
+                    name, False,
+                    "info block has no counters (observability registry "
+                    "not threaded through this scenario)",
+                )
             )
             continue
 

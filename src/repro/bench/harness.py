@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs.metrics import global_registry
 from .artifact import BenchArtifact, current_git_sha, round_metric
 
 __all__ = [
@@ -138,12 +139,17 @@ def run_scenario(
 
     wall_times: List[float] = []
     reference: Optional[ScenarioResult] = None
+    # Counter traffic is attributed to the first (cold) repeat by
+    # snapshot/delta around it — consistent with the info block below.
+    counters_before = global_registry().snapshot()
+    counters: Dict[str, Any] = {}
     for _ in range(repeats):
         start = time.perf_counter()
         result = spec.fn(**params)
         wall_times.append(time.perf_counter() - start)
         if reference is None:
             reference = result
+            counters = global_registry().delta_since(counters_before)
         elif (
             result.ops != reference.ops
             or result.rounded_metrics() != reference.rounded_metrics()
@@ -163,8 +169,13 @@ def run_scenario(
         wall_times_s=tuple(wall_times),
         metrics=reference.rounded_metrics(),
         # Diagnostics from the first repeat (the cold one, when a persistent
-        # cache is in play — the interesting hit/miss picture).
-        info={k: _json_safe(v) for k, v in sorted(reference.info.items())},
+        # cache is in play — the interesting hit/miss picture).  The
+        # ``counters`` entry is that repeat's process-wide registry delta
+        # (repro.obs.metrics) — non-gated like the rest of the info block.
+        info={
+            **{k: _json_safe(v) for k, v in sorted(reference.info.items())},
+            "counters": counters,
+        },
         git_sha=current_git_sha(),
     )
 

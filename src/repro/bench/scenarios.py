@@ -39,6 +39,7 @@ from ..core.planner.planner import BurstParallelPlanner, PlannerConfig
 from ..core.planner.pool import PlannerPool
 from ..models.registry import available_models, build_model, model_entry
 from ..network.fabric import get_fabric
+from ..obs.trace import TraceRecorder
 from ..profiler.gpu_spec import get_gpu_spec
 from ..profiler.layer_profiler import LayerProfiler
 from ..sched import (
@@ -278,6 +279,7 @@ def sched_sim_xl(
     checkpoint_interval_s=90.0,
     restart_overhead_s=15.0,
     cache_dir=None,
+    trace_out=None,
 )
 def sched_sim_hetero(
     pools: Sequence[str],
@@ -294,6 +296,7 @@ def sched_sim_hetero(
     checkpoint_interval_s: float,
     restart_overhead_s: float,
     cache_dir: Optional[str],
+    trace_out: Optional[str],
 ) -> ScenarioResult:
     """Mixed-generation fleet + failure injection; ops = events processed.
 
@@ -305,6 +308,12 @@ def sched_sim_hetero(
     and the checkpoint/restart cost model prices each failure in rolled-back
     GPU-seconds plus a restart overhead.  Metric fingerprints are identical
     across repeats and with the cache cold or warm.
+
+    ``trace_out`` attaches a :class:`~repro.obs.trace.TraceRecorder` and
+    writes the run's Chrome ``trace_event`` JSON there (the CI-uploaded
+    artifact).  The recorder is read-only, so fingerprints are identical
+    with it on or off — which is why ``trace_out`` sits in
+    :data:`~repro.bench.compare.ENVIRONMENT_PARAMS`.
     """
     if len(failure_window) != 2:
         raise ValueError(
@@ -340,6 +349,10 @@ def sched_sim_hetero(
         planner=planner,
         checkpoint=CheckpointModel(checkpoint_interval_s, restart_overhead_s),
     )
+    recorder = None
+    if trace_out:
+        recorder = TraceRecorder()
+        sched.attach_recorder(recorder)
     result = sched.run(jobs, policy, failures=schedule)
     m = result.metrics
     info = _cache_info(cache)
@@ -351,6 +364,9 @@ def sched_sim_hetero(
         # two artifacts are comparable at a glance even across param shapes.
         fleet_fingerprint=fleet_fingerprint(fleet),
     )
+    if recorder is not None:
+        path = recorder.write_chrome_trace(trace_out)
+        info.update(trace_out=str(path), trace_events=len(recorder))
     return ScenarioResult(
         ops=result.events_processed,
         metrics={

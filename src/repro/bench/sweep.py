@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .artifact import BenchArtifact
 
@@ -96,21 +96,38 @@ def _run_job(payload: Tuple[str, Dict[str, Any], int, Optional[str]]) -> Dict[st
 
 
 def run_jobs(
-    jobs: Sequence[SweepJob], processes: Optional[int] = None
+    jobs: Sequence[SweepJob],
+    processes: Optional[int] = None,
+    on_result: Optional[Callable[[BenchArtifact], None]] = None,
 ) -> List[BenchArtifact]:
     """Execute sweep jobs, fanning out across ``processes`` workers.
 
     ``processes`` of ``None`` or 1 runs serially (exact timings, no pool
     overhead); higher values trade timing isolation for wall-clock speed —
     appropriate for op-count-oriented sweeps and CI baselines.
+
+    ``on_result`` is invoked with each artifact as it completes, in job
+    order (the CLI's ``--verbose`` progress lines); the pool path streams
+    results via ``imap`` so the callback fires as workers finish rather
+    than after the whole sweep.
     """
     payloads = [
         (job.scenario, dict(job.overrides), job.repeats, job.artifact_name)
         for job in jobs
     ]
+    artifacts: List[BenchArtifact] = []
     if processes is None or processes <= 1 or len(payloads) <= 1:
-        return [BenchArtifact.from_dict(_run_job(p)) for p in payloads]
+        for payload in payloads:
+            artifact = BenchArtifact.from_dict(_run_job(payload))
+            if on_result is not None:
+                on_result(artifact)
+            artifacts.append(artifact)
+        return artifacts
     workers = min(processes, len(payloads))
     with multiprocessing.Pool(processes=workers) as pool:
-        dicts = pool.map(_run_job, payloads)
-    return [BenchArtifact.from_dict(d) for d in dicts]
+        for result in pool.imap(_run_job, payloads):
+            artifact = BenchArtifact.from_dict(result)
+            if on_result is not None:
+                on_result(artifact)
+            artifacts.append(artifact)
+    return artifacts

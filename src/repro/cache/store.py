@@ -27,9 +27,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
+
+from ..obs.metrics import global_registry
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -54,28 +55,72 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-@dataclass
 class CacheStats:
     """Counters describing one :class:`ArtifactCache`'s traffic.
 
     ``errors`` counts entries that existed but could not be used (corrupted
     JSON, wrong schema, key mismatch); each error is also a miss.
+
+    The per-instance counts are backed by :mod:`repro.obs.metrics` scoped
+    counters, so every increment also feeds the process-wide
+    ``artifact_cache.hits`` / ``misses`` / ``writes`` / ``errors``
+    aggregates in :func:`~repro.obs.metrics.global_registry`.  The public
+    attributes (``stats.hits`` and friends) read exactly as before.
     """
 
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    errors: int = 0
+    __slots__ = ("_hits", "_misses", "_writes", "_errors")
+
+    def __init__(self) -> None:
+        registry = global_registry()
+        self._hits = registry.scoped_counter("artifact_cache.hits")
+        self._misses = registry.scoped_counter("artifact_cache.misses")
+        self._writes = registry.scoped_counter("artifact_cache.writes")
+        self._errors = registry.scoped_counter("artifact_cache.errors")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
 
     @property
     def queries(self) -> int:
         return self.hits + self.misses
 
+    def record_hit(self) -> None:
+        self._hits.add(1)
+
+    def record_miss(self) -> None:
+        self._misses.add(1)
+
+    def record_write(self) -> None:
+        self._writes.add(1)
+
+    def record_error(self) -> None:
+        self._errors.add(1)
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        self.errors = 0
+        """Zero this instance's counts (global aggregates keep their totals)."""
+        self._hits.reset()
+        self._misses.reset()
+        self._writes.reset()
+        self._errors.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"writes={self.writes}, errors={self.errors})"
+        )
 
 
 class ArtifactCache:
@@ -123,7 +168,7 @@ class ArtifactCache:
         try:
             raw = path.read_text()
         except (OSError, UnicodeDecodeError):
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         try:
             envelope = json.loads(raw)
@@ -136,14 +181,14 @@ class ArtifactCache:
                 raise ValueError("invalid cache envelope")
             payload = envelope["payload"]
         except ValueError:
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self.stats.record_error()
+            self.stats.record_miss()
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return payload
 
     def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> Path:
@@ -172,7 +217,7 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        self.stats.record_write()
         return path
 
     def get_or_compute(

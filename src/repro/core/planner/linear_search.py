@@ -26,9 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence
 
+from ...obs.metrics import global_registry
 from .plan import LayerAssignment
 
 __all__ = ["ChainNode", "ChainSolution", "NodeDecision", "solve_chain"]
+
+# Process-wide total of (node, g, h) relaxations across every solve_chain
+# call — added once per solve (not per relaxation) to keep the DP inner loop
+# untouched.
+_RELAXATIONS = global_registry().counter("planner.relaxations")
 
 
 class ChainNode(Protocol):
@@ -213,6 +219,7 @@ def solve_chain(
         g = parent[i][g]
     decisions = list(reversed(decisions_rev))
 
+    _RELAXATIONS.add(relaxations)
     return ChainSolution(
         decisions=decisions,
         total_time=s_table[last][final_g],

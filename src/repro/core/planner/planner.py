@@ -31,6 +31,7 @@ from ...cache import (
 )
 from ...models.graph import ModelGraph
 from ...network.fabric import NetworkFabric
+from ...obs.metrics import global_registry
 from ...profiler.layer_profiler import LayerProfiler
 from .costs import PlannerCostModel, candidate_gpu_counts
 from .graph_reduction import build_chain_nodes
@@ -38,6 +39,15 @@ from .linear_search import solve_chain
 from .plan import LayerAssignment, TrainingPlan
 
 __all__ = ["PlannerConfig", "BurstParallelPlanner"]
+
+# Process-wide planner accounting (repro.obs.metrics): how many plans were
+# requested, how many came from the persistent cache, how many ran the chain
+# DP, and how long the searches took (wall clock — diagnostics only, never a
+# gated fingerprint).
+_PLAN_REQUESTS = global_registry().counter("planner.plan_requests")
+_PLAN_CACHE_HITS = global_registry().counter("planner.plan_cache_hits")
+_SOLVE_CALLS = global_registry().counter("planner.solve_calls")
+_SEARCH_TIMER = global_registry().timer("planner.search")
 
 
 @dataclass(frozen=True)
@@ -168,6 +178,7 @@ class BurstParallelPlanner:
         )
         if amp_limit < 1.0:
             raise ValueError("amplification_limit must be at least 1.0")
+        _PLAN_REQUESTS.add(1)
         start = time.perf_counter()
         costs = self._cost_model(graph, global_batch)
         if self.cache is not None:
@@ -175,14 +186,19 @@ class BurstParallelPlanner:
             payload = self.cache.get("plan", key)
             if payload is not None:
                 try:
-                    return TrainingPlan.from_dict(payload)
+                    plan = TrainingPlan.from_dict(payload)
                 except (KeyError, TypeError, ValueError):
                     pass  # foreign payload shape: fall through and recompute
+                else:
+                    _PLAN_CACHE_HITS.add(1)
+                    return plan
         candidates = candidate_gpu_counts(
             total_gpus, global_batch, self.config.powers_of_two_only
         )
-        nodes = build_chain_nodes(graph, costs, candidates, total_gpus, amp_limit)
-        solution = solve_chain(nodes, amp_limit)
+        _SOLVE_CALLS.add(1)
+        with _SEARCH_TIMER.time():
+            nodes = build_chain_nodes(graph, costs, candidates, total_gpus, amp_limit)
+            solution = solve_chain(nodes, amp_limit)
 
         assignments: List[LayerAssignment] = []
         prev_gpus = 1

@@ -34,11 +34,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import global_registry
 from .kernel import Kernel, LaunchOp, TaskWorkload
 
 __all__ = ["DeviceConfig", "TaskStats", "SimulationResult", "GPUSimulator"]
 
 _EPS = 1e-12
+
+# One tick per simulated device run — the observability registry's view of
+# the collocation experiments (counted per run(), outside the event loop).
+_SIM_RUNS = global_registry().counter("gpu.sim.runs")
 
 
 @dataclass(frozen=True)
@@ -205,6 +210,7 @@ class GPUSimulator:
         """Simulate the device for ``sim_time`` seconds and report statistics."""
         if sim_time <= 0:
             raise ValueError("sim_time must be positive")
+        _SIM_RUNS.add(1)
         cfg = self.config
         now = 0.0
         counter = itertools.count()

@@ -1,0 +1,37 @@
+"""CLI for the observability subsystem: ``python -m repro.obs``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces exported by repro.obs.TraceRecorder.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser(
+        "report", help="print a timeline digest of a Chrome trace JSON file"
+    )
+    rep.add_argument("trace", help="path to a trace_event JSON file")
+    rep.add_argument(
+        "--top-spans",
+        type=int,
+        default=10,
+        help="number of longest spans to list (default: 10)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        return report(args.trace, sys.stdout, top_spans=args.top_spans)
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

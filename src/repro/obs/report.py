@@ -1,0 +1,154 @@
+"""Timeline digest of a Chrome ``trace_event`` JSON file.
+
+``python -m repro.obs report <trace.json>`` loads a trace exported by
+:class:`repro.obs.trace.TraceRecorder` (or any Chrome-format trace) and
+prints a human-readable digest: the simulated time span, event counts by
+phase, per-pool span totals, the longest job spans, instant markers, and
+final counter values.  CI uses it as a smoke check that the exported trace
+is well-formed (exit status 0).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+__all__ = ["load_trace", "digest", "render_digest", "report"]
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a Chrome trace JSON file and validate its basic shape."""
+    with open(path, "r") as fh:
+        data = json.load(fh)
+    if isinstance(data, list):  # bare event-array form is also legal
+        data = {"traceEvents": data}
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace (missing traceEvents list)")
+    return data
+
+
+def digest(trace: Dict[str, Any], top_spans: int = 10) -> Dict[str, Any]:
+    """Reduce a loaded trace to the summary :func:`render_digest` prints."""
+    events: List[Dict[str, Any]] = trace["traceEvents"]
+
+    process_names: Dict[int, str] = {}
+    by_phase: Dict[str, int] = defaultdict(int)
+    spans_by_pid: Dict[int, List[Dict[str, Any]]] = defaultdict(list)
+    instants_by_name: Dict[str, int] = defaultdict(int)
+    counters_last: Dict[str, float] = {}
+    min_ts = None
+    max_ts = None
+
+    for event in events:
+        phase = event.get("ph", "?")
+        by_phase[phase] += 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            end = ts + event.get("dur", 0)
+            min_ts = ts if min_ts is None else min(min_ts, ts)
+            max_ts = end if max_ts is None else max(max_ts, end)
+        if phase == "M":
+            if event.get("name") == "process_name":
+                process_names[event.get("pid", 0)] = event["args"].get("name", "")
+        elif phase == "X":
+            spans_by_pid[event.get("pid", 0)].append(event)
+        elif phase == "i":
+            instants_by_name[event.get("name", "?")] += 1
+        elif phase == "C":
+            for key, value in (event.get("args") or {}).items():
+                counters_last[f"{event.get('name', '?')}.{key}"] = value
+
+    pools = []
+    for pid in sorted(spans_by_pid):
+        spans = spans_by_pid[pid]
+        pools.append(
+            {
+                "pid": pid,
+                "name": process_names.get(pid, f"pid {pid}"),
+                "num_spans": len(spans),
+                "total_dur_s": sum(s.get("dur", 0) for s in spans) / 1e6,
+            }
+        )
+
+    all_spans = [s for spans in spans_by_pid.values() for s in spans]
+    all_spans.sort(key=lambda s: (-s.get("dur", 0), s.get("ts", 0), s.get("name", "")))
+    longest = [
+        {
+            "name": s.get("name", "?"),
+            "pool": process_names.get(s.get("pid", 0), f"pid {s.get('pid', 0)}"),
+            "start_s": s.get("ts", 0) / 1e6,
+            "dur_s": s.get("dur", 0) / 1e6,
+        }
+        for s in all_spans[:top_spans]
+    ]
+
+    return {
+        "num_events": len(events),
+        "by_phase": dict(sorted(by_phase.items())),
+        "span_s": (
+            (max_ts - min_ts) / 1e6 if min_ts is not None and max_ts is not None else 0.0
+        ),
+        "other_data": trace.get("otherData", {}),
+        "pools": pools,
+        "longest_spans": longest,
+        "instants": dict(sorted(instants_by_name.items())),
+        "counters_last": dict(sorted(counters_last.items())),
+    }
+
+
+def render_digest(info: Dict[str, Any], out: TextIO) -> None:
+    """Pretty-print a :func:`digest` result."""
+    other = info["other_data"]
+    out.write("trace digest\n")
+    out.write("============\n")
+    if other:
+        extras = ", ".join(f"{k}={other[k]}" for k in sorted(other))
+        out.write(f"run: {extras}\n")
+    out.write(f"events: {info['num_events']}")
+    phases = ", ".join(f"{k}:{v}" for k, v in info["by_phase"].items())
+    out.write(f" ({phases})\n")
+    out.write(f"simulated span: {info['span_s']:.1f}s\n")
+
+    if info["pools"]:
+        out.write("\nper-track spans\n")
+        for pool in info["pools"]:
+            out.write(
+                f"  {pool['name']:<24} {pool['num_spans']:>6} spans"
+                f"  {pool['total_dur_s']:>12.1f} gpu-track-s\n"
+            )
+
+    if info["longest_spans"]:
+        out.write("\nlongest spans\n")
+        for span in info["longest_spans"]:
+            out.write(
+                f"  {span['name']:<24} {span['dur_s']:>10.1f}s"
+                f"  @{span['start_s']:>10.1f}s  [{span['pool']}]\n"
+            )
+
+    if info["instants"]:
+        out.write("\ninstant markers\n")
+        for name, count in info["instants"].items():
+            out.write(f"  {name:<32} x{count}\n")
+
+    if info["counters_last"]:
+        out.write("\nfinal counter values\n")
+        for name, value in info["counters_last"].items():
+            out.write(f"  {name:<32} {value}\n")
+
+
+def report(
+    path: Union[str, Path], out: Optional[TextIO] = None, top_spans: int = 10
+) -> int:
+    """Digest ``path`` to ``out`` (default stdout); returns an exit status."""
+    out = out if out is not None else sys.stdout
+    try:
+        trace = load_trace(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    render_digest(digest(trace, top_spans=top_spans), out)
+    return 0

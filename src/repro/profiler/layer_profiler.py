@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cache import ArtifactCache, fingerprint, profiler_fingerprint
 from ..models.graph import LayerSpec, ModelGraph
+from ..obs.metrics import global_registry
 from .gpu_spec import GPUSpec, A100_40GB
 from .kernel_model import KernelCostModel, KernelWorkload
 
@@ -100,25 +101,49 @@ class LayerTiming:
         return self.forward_kernels + self.backward_kernels
 
 
-@dataclass
 class ProfilerCacheStats:
     """Hit/miss counters of the profiler's layer-timing memo table.
 
     ``queries`` (hits + misses) only depends on the caller's query pattern,
     not on whether caching is enabled, which makes it a deterministic op
     count for the benchmark harness.
+
+    Backed by :mod:`repro.obs.metrics` scoped counters: each instance keeps
+    its own counts while also feeding the process-wide ``profiler.hits`` /
+    ``profiler.misses`` aggregates.
     """
 
-    hits: int = 0
-    misses: int = 0
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self) -> None:
+        registry = global_registry()
+        self._hits = registry.scoped_counter("profiler.hits")
+        self._misses = registry.scoped_counter("profiler.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     @property
     def queries(self) -> int:
         return self.hits + self.misses
 
+    def record_hit(self) -> None:
+        self._hits.add(1)
+
+    def record_miss(self) -> None:
+        self._misses.add(1)
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProfilerCacheStats(hits={self.hits}, misses={self.misses})"
 
 
 class LayerProfiler:
@@ -211,14 +236,14 @@ class LayerProfiler:
         if batch <= 0:
             raise ValueError("batch must be positive")
         if not self.enable_cache:
-            self.cache_stats.misses += 1
+            self.cache_stats.record_miss()
             return self._compute_layer_timing(spec, batch)
         key = (spec, batch)
         cached = self._timing_cache.get(key)
         if cached is not None:
-            self.cache_stats.hits += 1
+            self.cache_stats.record_hit()
             return cached
-        self.cache_stats.misses += 1
+        self.cache_stats.record_miss()
         timing = None
         if self.persistent_cache is not None:
             digest = fingerprint(

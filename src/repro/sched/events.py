@@ -28,7 +28,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, List, Optional
 
+from ..obs.metrics import global_registry
+
 __all__ = ["EventKind", "Event", "EventQueue", "GpuPool"]
+
+# Process-wide aggregates for GPU free-list traffic; fetched once at import
+# so the hot path pays a single attribute load + integer add per operation.
+_POOL_TAKES = global_registry().counter("sched.gpu_pool.takes")
+_POOL_RELEASES = global_registry().counter("sched.gpu_pool.releases")
 
 
 class EventKind(str, Enum):
@@ -82,14 +89,27 @@ class EventQueue:
 
     The queue counts its pushes and pops; ``popped`` is the number of events
     the simulation actually processed — a deterministic op count the
-    benchmark harness reports for scheduler scenarios.
+    benchmark harness reports for scheduler scenarios.  The counts live in
+    per-queue scoped counters that roll up into the process-wide
+    ``sched.heap.pushes`` / ``sched.heap.pops`` aggregates.
     """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
-        self.pushed = 0
-        self.popped = 0
+        registry = global_registry()
+        self._pushed = registry.scoped_counter("sched.heap.pushes")
+        self._popped = registry.scoped_counter("sched.heap.pops")
+
+    @property
+    def pushed(self) -> int:
+        """Events scheduled on this queue since construction."""
+        return self._pushed.value
+
+    @property
+    def popped(self) -> int:
+        """Events this queue has handed to the simulation."""
+        return self._popped.value
 
     def push(
         self,
@@ -111,14 +131,14 @@ class EventQueue:
             host=host,
         )
         heapq.heappush(self._heap, event)
-        self.pushed += 1
+        self._pushed.add(1)
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("pop from an empty EventQueue")
-        self.popped += 1
+        self._popped.add(1)
         return heapq.heappop(self._heap)
 
     def peek_time(self) -> Optional[float]:
@@ -145,6 +165,8 @@ class GpuPool:
     def __init__(self, gpu_ids: Iterable[int] = ()) -> None:
         self._heap = list(gpu_ids)
         heapq.heapify(self._heap)
+        self._takes = _POOL_TAKES
+        self._releases = _POOL_RELEASES
 
     def take(self, count: int) -> List[int]:
         """Remove and return the ``count`` lowest free GPU ids."""
@@ -152,10 +174,12 @@ class GpuPool:
             raise ValueError(
                 f"cannot take {count} GPUs from a pool of {len(self._heap)}"
             )
+        self._takes.add(1)
         return [heapq.heappop(self._heap) for _ in range(count)]
 
     def release(self, gpu_ids: Iterable[int]) -> None:
         """Return GPUs to the pool."""
+        self._releases.add(1)
         for gpu_id in gpu_ids:
             heapq.heappush(self._heap, gpu_id)
 

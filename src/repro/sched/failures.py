@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs.metrics import global_registry
 from .fleet import ClusterFleet
 
 __all__ = ["NodeFailure", "CheckpointModel", "inject_failures", "validate_failures"]
@@ -147,4 +148,7 @@ def inject_failures(
                 break
         # An unplaceable failure (dense schedule on a tiny fleet) is simply
         # dropped after the attempt budget; the schedule stays deterministic.
+    registry = global_registry()
+    registry.counter("sched.failures.injected").add(len(failures))
+    registry.counter("sched.failures.dropped").add(num_failures - len(failures))
     return validate_failures(fleet, failures)

@@ -223,6 +223,7 @@ class FleetPool:
             name: GpuPool(fleet.gpu_ids_of_pool(name)) for name in fleet.pool_names
         }
         self._down: set = set()
+        self._down_hosts: set = set()
 
     def free_of(self, pool_name: str) -> int:
         """Number of free GPUs in one pool."""
@@ -251,6 +252,7 @@ class FleetPool:
         if any(g in self._down for g in gpu_ids):
             raise ValueError(f"host {host_id} is already down")
         self._down.update(gpu_ids)
+        self._down_hosts.add(host_id)
         self._free[self._fleet.pool_of_host(host_id)].remove(gpu_ids)
         return gpu_ids
 
@@ -260,6 +262,7 @@ class FleetPool:
         if not all(g in self._down for g in gpu_ids):
             raise ValueError(f"host {host_id} is not down")
         self._down.difference_update(gpu_ids)
+        self._down_hosts.discard(host_id)
         self._free[self._fleet.pool_of_host(host_id)].release(gpu_ids)
 
     def free_ids(self) -> List[int]:
@@ -272,6 +275,16 @@ class FleetPool:
     def down_ids(self) -> List[int]:
         """Sorted ids of GPUs on currently-down hosts."""
         return sorted(self._down)
+
+    @property
+    def num_down_hosts(self) -> int:
+        """Hosts currently marked down (the sampler's ``failed_hosts`` gauge)."""
+        return len(self._down_hosts)
+
+    @property
+    def num_down_gpus(self) -> int:
+        """GPUs on currently-down hosts (free or pending absorption)."""
+        return len(self._down)
 
     def __len__(self) -> int:
         return sum(len(pool) for pool in self._free.values())

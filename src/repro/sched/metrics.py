@@ -136,11 +136,32 @@ class FleetMetrics:
     def compute(
         cls, records: Sequence[JobRecord], num_gpus: int, makespan: float
     ) -> "FleetMetrics":
-        """Summarize a run from its completed-job records."""
+        """Summarize a run from its completed-job records.
+
+        Zero completed jobs (a partial or aborted replay, or a sampler
+        summarizing mid-run) is a valid input: the result is an all-zero
+        metrics object with ``num_jobs=0`` — never an exception.
+        """
         if num_gpus < 1:
             raise ValueError("num_gpus must be positive")
         if not records:
-            raise ValueError("cannot compute metrics without completed jobs")
+            return cls(
+                num_gpus=num_gpus,
+                num_jobs=0,
+                makespan=makespan,
+                mean_jct=0.0,
+                median_jct=0.0,
+                p95_jct=0.0,
+                max_jct=0.0,
+                mean_queue_delay=0.0,
+                utilization=0.0,
+                fg_goodput=0.0,
+                bg_goodput=0.0,
+                preemptions=0,
+                replans=0,
+                restarts=0,
+                lost_gpu_seconds=0.0,
+            )
         jcts: List[float] = [r.jct for r in records]
         span = max(makespan, 1e-12)
         busy = sum(r.busy_gpu_seconds for r in records)

@@ -70,6 +70,25 @@ from ..core.planner.pool import PlannerPool, PlanRequest
 from ..models.graph import ModelGraph
 from ..models.registry import build_model
 from ..network.fabric import NetworkFabric, get_fabric
+from ..obs.metrics import global_registry
+from ..obs.sampler import TimeSeriesSampler
+from ..obs.trace import (
+    EV_ARRIVAL,
+    EV_COLLOCATE,
+    EV_COMPLETION,
+    EV_DETACH,
+    EV_GPU_FREE,
+    EV_GPU_GRANT,
+    EV_KILL,
+    EV_MIGRATION,
+    EV_NODE_FAILURE,
+    EV_NODE_RECOVERY,
+    EV_PLACEMENT,
+    EV_PREEMPTION,
+    EV_REPLAN,
+    EV_RESTART,
+    TraceRecorder,
+)
 from ..profiler.layer_profiler import LayerProfiler
 from .events import EventKind, EventQueue
 from .failures import CheckpointModel, NodeFailure, validate_failures
@@ -84,6 +103,15 @@ __all__ = ["ClusterScheduler", "ScheduleResult"]
 _PENDING = "pending"
 _RUNNING = "running"
 _DONE = "done"
+
+# Per-kind event-loop counters, prefetched at import so the loop pays one
+# dict lookup + integer add per event.  ``sched.events.stale`` counts finish
+# events discarded by lazy invalidation (not an EventKind of their own).
+_EVENT_COUNTERS = {
+    kind: global_registry().counter(f"sched.events.{kind.value}")
+    for kind in EventKind
+}
+_STALE_EVENTS = global_registry().counter("sched.events.stale")
 
 
 class _JobState:
@@ -257,6 +285,57 @@ class ClusterScheduler:
         self._bg_dedicated = SortedJobList()
         self._free = FleetPool(fleet)
         self._track_failures = False
+        # Observability seams (repro.obs).  ``None`` means disabled; every
+        # emission site guards on that, so an unobserved run pays exactly one
+        # attribute load + ``is None`` test per state change — nothing else.
+        self._recorder: Optional[TraceRecorder] = None
+        self._sampler: Optional[TimeSeriesSampler] = None
+
+    # ----------------------------------------------------------- observability
+    def attach_recorder(self, recorder: Optional[TraceRecorder]) -> None:
+        """Attach a trace recorder (``None`` detaches).
+
+        The recorder receives one structured event per scheduler state
+        change — placements, collocations, preemptions, re-plans,
+        migrations, failures, restarts, completions, per-pool GPU
+        grants/frees — stamped with simulated time.  Recording only *reads*
+        state, so metrics are bit-identical with or without it.
+        """
+        self._recorder = recorder
+
+    def attach_sampler(self, sampler: Optional[TimeSeriesSampler]) -> None:
+        """Attach a time-series sampler (``None`` detaches).
+
+        The sampler records cluster gauges (pending depth, free GPUs per
+        pool, allocation, collocated guests, failed hosts) on its fixed
+        sim-time grid during :meth:`run`.
+        """
+        self._sampler = sampler
+
+    def _make_gauges(self, pending, free: FleetPool):
+        """Gauge callback for the attached sampler, bound to one run's state."""
+        pool_names = self.fleet.pool_names
+        num_gpus = self.num_gpus
+
+        def gauges() -> Dict[str, Union[int, float]]:
+            free_total = len(free)
+            down = free.num_down_gpus
+            reading: Dict[str, Union[int, float]] = {
+                "pending_jobs": len(pending),
+                "running_foreground": len(self._fg_running),
+                "running_background": len(self._bg_dedicated),
+                "collocated_guests": sum(len(s.hosted) for s in self._fg_running),
+                "free_gpus": free_total,
+                "failed_hosts": free.num_down_hosts,
+                "down_gpus": down,
+                "allocated_gpus": num_gpus - free_total - down,
+                "utilization_allocated": (num_gpus - free_total - down) / num_gpus,
+            }
+            for name in pool_names:
+                reading[f"free_gpus.{name}"] = free.free_of(name)
+            return reading
+
+        return gauges
 
     # ------------------------------------------------------------------ caches
     def _graph(self, model: str) -> ModelGraph:
@@ -486,20 +565,46 @@ class ClusterScheduler:
         first_arrival = min(job.arrival_time for job in trace)
         last_finish = first_arrival
 
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.begin_run(self.fleet, policy.name)
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.begin_run()
+            gauges = self._make_gauges(pending, free)
+
         while queue:
             event = queue.pop()
             now = event.time
+            if sampler is not None:
+                # Boundaries at or before ``now`` sample the state *before*
+                # this event's changes (piecewise-constant between events).
+                sampler.advance_to(now, gauges)
+            _EVENT_COUNTERS[event.kind].add(1)
             if event.kind is EventKind.JOB_ARRIVAL:
                 state = states[event.job_name]
                 state.last_update = now
                 pending.add(state, now)
+                if recorder is not None:
+                    recorder.emit(now, EV_ARRIVAL, job=state.name)
             elif event.kind is EventKind.NODE_FAILURE:
                 self._fail_host(event.host, now, free, pending)
             elif event.kind is EventKind.NODE_RECOVERY:
                 free.recover_host(event.host)
+                if recorder is not None:
+                    pool = self.fleet.pool_of_host(event.host)
+                    recorder.emit(
+                        now,
+                        EV_NODE_RECOVERY,
+                        pool=pool,
+                        host=event.host,
+                        gpus=self.fleet.gpus_of_host(event.host),
+                        free_gpus=free.free_of(pool),
+                    )
             else:
                 state = states[event.job_name]
                 if state.status != _RUNNING or event.version != state.version:
+                    _STALE_EVENTS.add(1)
                     continue  # stale finish event (job was re-planned/preempted)
                 self._finish(state, now, free, pending, queue, records)
                 last_finish = max(last_finish, now)
@@ -612,6 +717,17 @@ class ClusterScheduler:
         if self._track_failures:
             begin = now
             if state.pending_restart_penalty > 0.0:
+                if self._recorder is not None:
+                    # The placement consumes the owed restart overhead here —
+                    # the restart marker on the timeline.
+                    self._recorder.emit(
+                        now,
+                        EV_RESTART,
+                        job=state.name,
+                        pool=state.gpu_type or "",
+                        gpus=tuple(state.gpu_ids),
+                        detail=f"overhead_s={state.pending_restart_penalty}",
+                    )
                 state.penalty_until = now + state.pending_restart_penalty
                 state.pending_restart_penalty = 0.0
                 begin = state.penalty_until
@@ -665,6 +781,16 @@ class ClusterScheduler:
         state.gpu_type = gpu_pool
         state.hosted = {}
         state.guest_order = SortedJobList()
+        if self._recorder is not None:
+            gpus = tuple(state.gpu_ids)
+            self._recorder.emit(
+                now, EV_GPU_GRANT, job=state.name, pool=gpu_pool,
+                gpus=gpus, free_gpus=free.free_of(gpu_pool),
+            )
+            self._recorder.emit(
+                now, EV_PLACEMENT, job=state.name, pool=gpu_pool,
+                gpus=gpus, width=width, detail="foreground",
+            )
         self._begin_placement(state, now)
         self._fg_running.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
@@ -681,6 +807,16 @@ class ClusterScheduler:
             state.trace.model, state.global_batch, gpu_pool
         )
         state.work_per_iteration = state.placed_iso_time
+        if self._recorder is not None:
+            gpus = tuple(state.gpu_ids)
+            self._recorder.emit(
+                now, EV_GPU_GRANT, job=state.name, pool=gpu_pool,
+                gpus=gpus, free_gpus=free.free_of(gpu_pool),
+            )
+            self._recorder.emit(
+                now, EV_PLACEMENT, job=state.name, pool=gpu_pool,
+                gpus=gpus, width=1, detail="background",
+            )
         self._begin_placement(state, now)
         self._bg_dedicated.add(state, self._work_key(state))
         self._reschedule_finish(state, now, queue)
@@ -703,6 +839,12 @@ class ClusterScheduler:
             state.trace.model, state.global_batch, host.gpu_type
         )
         state.work_per_iteration = state.placed_iso_time
+        if self._recorder is not None:
+            self._recorder.emit(
+                now, EV_COLLOCATE, job=state.name, pool=state.gpu_type,
+                gpus=tuple(state.gpu_ids), width=1,
+                detail=f"collocated:{host.name}",
+            )
         self._begin_placement(state, now)
         self._reschedule_finish(state, now, queue)
         if first_guest:
@@ -753,6 +895,12 @@ class ClusterScheduler:
             self._suspend_restart_penalty(state, now)
         if rollback:
             self._rollback_to_checkpoint(state)
+        if self._recorder is not None:
+            self._recorder.emit(
+                now, EV_DETACH, job=state.name, pool=state.gpu_type or "",
+                gpus=tuple(state.gpu_ids),
+                detail="rollback" if rollback else "requeue",
+            )
         assert state.host is not None
         del state.host.hosted[state.host_index]
         state.host.guest_order.remove(state)
@@ -773,6 +921,16 @@ class ClusterScheduler:
         if self._track_failures:
             self._suspend_restart_penalty(state, now)
         free.release(state.gpu_ids)
+        if self._recorder is not None:
+            pool = state.gpu_type or ""
+            gpus = tuple(state.gpu_ids)
+            self._recorder.emit(
+                now, EV_GPU_FREE, job=state.name, pool=pool,
+                gpus=gpus, free_gpus=free.free_of(pool),
+            )
+            self._recorder.emit(
+                now, EV_PREEMPTION, job=state.name, pool=pool, gpus=gpus,
+            )
         state.gpu_ids = []
         state.gpu_type = None
         state.status = _PENDING
@@ -805,6 +963,17 @@ class ClusterScheduler:
         self._suspend_restart_penalty(state, now)  # superseded by the rollback
         self._rollback_to_checkpoint(state)
         free.release(state.gpu_ids)
+        if self._recorder is not None:
+            pool = state.gpu_type or ""
+            gpus = tuple(state.gpu_ids)
+            self._recorder.emit(
+                now, EV_GPU_FREE, job=state.name, pool=pool,
+                gpus=gpus, free_gpus=free.free_of(pool),
+            )
+            self._recorder.emit(
+                now, EV_KILL, job=state.name, pool=pool, gpus=gpus,
+                detail="node-failure",
+            )
         state.gpu_ids = []
         state.gpu_type = None
         if state.is_foreground:
@@ -819,6 +988,12 @@ class ClusterScheduler:
     ) -> None:
         """Take one host down: kill and re-queue everything it touches."""
         down = set(free.fail_host(host))
+        if self._recorder is not None:
+            pool = self.fleet.pool_of_host(host)
+            self._recorder.emit(
+                now, EV_NODE_FAILURE, pool=pool, host=host,
+                gpus=tuple(sorted(down)), free_gpus=free.free_of(pool),
+            )
         affected_fg = [
             s for s in list(self._fg_running) if not down.isdisjoint(s.gpu_ids)
         ]
@@ -862,6 +1037,16 @@ class ClusterScheduler:
                 self._reschedule_finish(host, now, queue)
         else:
             free.release(state.gpu_ids)
+            if self._recorder is not None:
+                self._recorder.emit(
+                    now, EV_GPU_FREE, job=state.name, pool=gpu_pool,
+                    gpus=tuple(state.gpu_ids), free_gpus=free.free_of(gpu_pool),
+                )
+        if self._recorder is not None:
+            self._recorder.emit(
+                now, EV_COMPLETION, job=state.name, pool=gpu_pool,
+                gpus=tuple(state.gpu_ids), width=max(state.width, 1),
+            )
         state.gpu_ids = []
         if state.is_foreground:
             # Orphaned guests go back to the queue and are re-placed below.
@@ -1056,9 +1241,26 @@ class ClusterScheduler:
                 continue
             self._advance(state, now)
             free.release(state.gpu_ids)
+            old_pool = state.gpu_type
+            old_gpus = tuple(state.gpu_ids)
             state.gpu_ids = free.take(pool_name, width)
             state.gpu_type = pool_name
             self._install_plan(state, plan)
+            if self._recorder is not None:
+                assert old_pool is not None
+                self._recorder.emit(
+                    now, EV_GPU_FREE, job=state.name, pool=old_pool,
+                    gpus=old_gpus, free_gpus=free.free_of(old_pool),
+                )
+                gpus = tuple(state.gpu_ids)
+                self._recorder.emit(
+                    now, EV_GPU_GRANT, job=state.name, pool=pool_name,
+                    gpus=gpus, free_gpus=free.free_of(pool_name),
+                )
+                self._recorder.emit(
+                    now, EV_MIGRATION, job=state.name, pool=pool_name,
+                    gpus=gpus, width=width, detail=f"from:{old_pool}",
+                )
             if self._track_failures:
                 # Migration serializes the job's state: checkpoint here so a
                 # rollback never prices old iterations at the new plan's
@@ -1076,9 +1278,20 @@ class ClusterScheduler:
         """Move a running foreground job to a wider plan, keeping progress."""
         self._advance(state, now)
         assert state.gpu_type is not None
+        old_width = state.width
         extra = free.take(state.gpu_type, new_width - state.width)
         state.gpu_ids = state.gpu_ids + extra
         self._install_plan(state, plan)
+        if self._recorder is not None:
+            self._recorder.emit(
+                now, EV_GPU_GRANT, job=state.name, pool=state.gpu_type,
+                gpus=tuple(extra), free_gpus=free.free_of(state.gpu_type),
+            )
+            self._recorder.emit(
+                now, EV_REPLAN, job=state.name, pool=state.gpu_type,
+                gpus=tuple(state.gpu_ids), width=new_width,
+                detail=f"from_width:{old_width}",
+            )
         if self._track_failures:
             # Re-planning serializes the job's state: checkpoint here so a
             # rollback never prices old iterations at the new plan's

@@ -174,6 +174,27 @@ class TestCompare:
         other = {"s": _artifact("s", params={"x": 2})}
         assert not compare_artifacts(base, other, ignore_time=True).ok
 
+    def test_require_counters_gates_counterless_artifacts(self):
+        base = {"s": _artifact("s")}
+        bare = {"s": _artifact("s")}  # info block has no counters
+        # Off by default: a counterless artifact still passes.
+        assert compare_artifacts(base, bare, ignore_time=True).ok
+        comparison = compare_artifacts(
+            base, bare, ignore_time=True, require_counters=True
+        )
+        assert not comparison.ok
+        assert "no counters" in comparison.failures[0].reason
+        wired = {
+            "s": _artifact("s", info={"counters": {"sched.events.arrival": 3}})
+        }
+        assert compare_artifacts(
+            base, wired, ignore_time=True, require_counters=True
+        ).ok
+        # Only the *current* side is checked; counterless baselines are fine.
+        assert compare_artifacts(
+            bare, wired, ignore_time=True, require_counters=True
+        ).ok
+
 
 class TestSweep:
     def test_grid_jobs_unique_names(self):
@@ -244,6 +265,49 @@ class TestCLI:
             ["compare", str(out), str(out), "--ignore-time"]
         ) == 0
         assert "PASS" in capsys.readouterr().out
+
+    def test_run_records_counters_in_info(self, tmp_path):
+        """Every artifact carries the run's registry delta in the info block."""
+        out = tmp_path / "run"
+        argv = ["run", "sched_sim", "--out", str(out)]
+        for key, value in SMALL_SCHED.items():
+            argv += ["--param", f"{key}={value}"]
+        assert bench_main(argv) == 0
+        with open(out / artifact_filename("sched_sim")) as fh:
+            artifact = json.load(fh)
+        counters = artifact["info"]["counters"]
+        assert counters
+        # The delta is scoped to this run: one arrival per trace job.
+        assert counters["sched.events.arrival"] == SMALL_SCHED["num_jobs"]
+        assert counters["planner.plan_requests"] > 0
+
+    def test_run_verbose_prints_progress_lines(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        argv = ["run", "sched_sim", "--out", str(out), "--verbose"]
+        for key, value in SMALL_SCHED.items():
+            argv += ["--param", f"{key}={value}"]
+        assert bench_main(argv) == 0
+        stdout = capsys.readouterr().out
+        assert "[done] sched_sim: wall=" in stdout
+        assert "ops=" in stdout
+
+    def test_hetero_trace_out_writes_loadable_trace(self, tmp_path):
+        from repro.obs.report import report
+
+        out = tmp_path / "run"
+        trace = tmp_path / "trace.json"
+        argv = [
+            "run", "sched_sim_hetero", "--out", str(out),
+            "--param", "num_jobs=30", "--param", f"trace_out={trace}",
+        ]
+        assert bench_main(argv) == 0
+        with open(trace) as fh:
+            data = json.load(fh)
+        assert data["traceEvents"]
+        with open(out / artifact_filename("sched_sim_hetero")) as fh:
+            artifact = json.load(fh)
+        assert artifact["info"]["trace_events"] == data["otherData"]["recorded_events"]
+        assert report(str(trace)) == 0
 
     def test_compare_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
         """Acceptance: an injected >10% wall-time regression gates the PR."""

@@ -1,0 +1,316 @@
+"""Tests for the observability layer (repro.obs): registry, recorder, sampler."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EV_ARRIVAL,
+    EV_COMPLETION,
+    EV_GPU_GRANT,
+    EV_KILL,
+    EV_NODE_FAILURE,
+    EV_NODE_RECOVERY,
+    EV_PLACEMENT,
+    EV_RESTART,
+    MetricsRegistry,
+    TimeSeriesSampler,
+    TraceRecorder,
+    global_registry,
+)
+from repro.obs.report import digest, load_trace, report
+from repro.profiler.gpu_spec import get_gpu_spec
+from repro.sched import (
+    CheckpointModel,
+    ClusterFleet,
+    ClusterScheduler,
+    GpuPoolSpec,
+    inject_failures,
+    mixed_trace,
+    synthetic_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counter/timer registry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_identity_and_add(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert reg.counter("x") is c
+        c.add(3)
+        c.add(2)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_scoped_counter_rolls_up(self):
+        reg = MetricsRegistry()
+        agg = reg.counter("hits")
+        a = reg.scoped_counter("hits")
+        b = reg.scoped_counter("hits")
+        a.add(2)
+        b.add(3)
+        assert a.value == 2
+        assert b.value == 3
+        assert agg.value == 5
+        a.reset()  # local reset leaves the aggregate alone
+        assert a.value == 0
+        assert agg.value == 5
+
+    def test_timer_records(self):
+        reg = MetricsRegistry()
+        t = reg.timer("work")
+        with t.time():
+            pass
+        t.record(0.25)
+        assert t.count == 2
+        assert t.total_s >= 0.25
+
+    def test_snapshot_and_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(1)
+        before = reg.snapshot()
+        assert before["a"] == 1
+        reg.counter("a").add(4)
+        reg.counter("b").add(2)
+        reg.timer("t").record(0.5)
+        delta = reg.delta_since(before)
+        assert delta["a"] == 4
+        assert delta["b"] == 2
+        assert delta["t.count"] == 1
+        assert delta["t.total_s"] == pytest.approx(0.5)
+        # Untouched counters do not appear in the delta.
+        reg.counter("quiet")
+        assert "quiet" not in reg.delta_since(before)
+
+    def test_reset_clears_in_place(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.add(7)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("n") is c
+
+    def test_global_registry_is_process_wide(self):
+        assert global_registry() is global_registry()
+
+
+# ---------------------------------------------------------------------------
+# Time-series sampler
+# ---------------------------------------------------------------------------
+
+class TestTimeSeriesSampler:
+    def test_samples_on_interval_grid(self):
+        sampler = TimeSeriesSampler(interval_s=10.0)
+        sampler.begin_run()
+        assert sampler.advance_to(5.0, lambda: {"g": 1.0}) == 1  # t=0
+        assert sampler.advance_to(25.0, lambda: {"g": 2.0}) == 2  # t=10,20
+        assert sampler.advance_to(25.5, lambda: {"g": 3.0}) == 0
+        assert sampler.times == (0.0, 10.0, 20.0)
+        assert sampler.column("g") == (1.0, 2.0, 2.0)
+
+    def test_gauges_called_once_per_advance(self):
+        calls = []
+
+        def gauges():
+            calls.append(1)
+            return {"g": float(len(calls))}
+
+        sampler = TimeSeriesSampler(interval_s=1.0)
+        sampler.begin_run()
+        sampler.advance_to(3.5, gauges)
+        assert len(calls) == 1
+
+    def test_new_gauges_backfill_zero(self):
+        sampler = TimeSeriesSampler(interval_s=1.0)
+        sampler.begin_run()
+        sampler.advance_to(1.5, lambda: {"a": 1.0})
+        sampler.advance_to(2.5, lambda: {"a": 2.0, "b": 9.0})
+        assert sampler.column("b") == (0.0, 0.0, 9.0)
+        # A gauge that vanishes carries its last value forward.
+        sampler.advance_to(3.5, lambda: {"a": 3.0})
+        assert sampler.column("b")[-1] == 9.0
+
+    def test_summary(self):
+        sampler = TimeSeriesSampler(interval_s=1.0)
+        sampler.begin_run()
+        sampler.advance_to(0.5, lambda: {"g": 4.0})
+        sampler.advance_to(2.5, lambda: {"g": 2.0})
+        summary = sampler.summary()
+        assert summary["num_samples"] == 3
+        assert summary["g"]["min"] == 2.0
+        assert summary["g"]["max"] == 4.0
+        assert summary["g"]["last"] == 2.0
+
+    def test_begin_run_clears(self):
+        sampler = TimeSeriesSampler(interval_s=1.0)
+        sampler.begin_run()
+        sampler.advance_to(5.0, lambda: {"g": 1.0})
+        assert sampler.num_samples > 0
+        sampler.begin_run()
+        assert sampler.num_samples == 0
+        assert sampler.gauge_names == []
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(interval_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Trace recorder against the real scheduler
+# ---------------------------------------------------------------------------
+
+def _hetero_setup(num_jobs=40, failures=3):
+    fleet = ClusterFleet(
+        (
+            GpuPoolSpec("a100", get_gpu_spec("a100"), 32, 8),
+            GpuPoolSpec("v100", get_gpu_spec("v100"), 32, 8),
+        )
+    )
+    sched = ClusterScheduler(
+        fleet, checkpoint=CheckpointModel(60.0, 10.0)
+    )
+    jobs = mixed_trace(num_jobs, seed=3)
+    schedule = inject_failures(
+        fleet, failures, seed=5, window=(30.0, 240.0), mean_downtime=40.0
+    )
+    return sched, jobs, schedule
+
+
+class TestTraceRecorder:
+    def test_recorder_does_not_perturb_metrics(self):
+        jobs = synthetic_trace(16, seed=7)
+        plain = ClusterScheduler(num_gpus=16).run(jobs, "collocation")
+
+        sched = ClusterScheduler(num_gpus=16)
+        sched.attach_recorder(TraceRecorder())
+        sched.attach_sampler(TimeSeriesSampler(interval_s=15.0))
+        observed = sched.run(jobs, "collocation")
+
+        assert observed.metrics == plain.metrics
+        assert observed.events_processed == plain.events_processed
+
+    def test_records_full_job_lifecycle(self):
+        sched, jobs, schedule = _hetero_setup()
+        recorder = TraceRecorder()
+        sampler = TimeSeriesSampler(interval_s=20.0)
+        sched.attach_recorder(recorder)
+        sched.attach_sampler(sampler)
+        result = sched.run(jobs, "collocation", failures=schedule)
+
+        assert len(recorder.events_of(EV_ARRIVAL)) == len(jobs)
+        assert len(recorder.events_of(EV_COMPLETION)) == result.metrics.num_jobs
+        assert len(recorder.events_of(EV_NODE_FAILURE)) == len(schedule)
+        assert len(recorder.events_of(EV_NODE_RECOVERY)) == len(schedule)
+        assert recorder.events_of(EV_PLACEMENT)
+        # Failures killed running jobs, which later restarted with overhead.
+        if recorder.events_of(EV_KILL):
+            assert result.metrics.restarts == len(recorder.events_of(EV_RESTART))
+        # Grants always carry the pool's post-take occupancy.
+        for event in recorder.events_of(EV_GPU_GRANT):
+            assert event.pool
+            assert event.free_gpus >= 0
+            assert event.gpus
+        # Event times never go backwards.
+        times = [e.time for e in recorder.events]
+        assert times == sorted(times)
+        # The sampler covered the whole makespan.
+        assert sampler.num_samples >= result.metrics.makespan // 20.0
+        assert "free_gpus" in sampler.gauge_names
+        assert "pending_jobs" in sampler.gauge_names
+
+    def test_trace_export_is_byte_identical(self, tmp_path):
+        texts = []
+        for run in range(2):
+            sched, jobs, schedule = _hetero_setup()
+            recorder = TraceRecorder()
+            sched.attach_recorder(recorder)
+            sched.run(jobs, "collocation", failures=schedule)
+            texts.append(recorder.chrome_trace_json())
+        assert texts[0] == texts[1]
+        path = tmp_path / "trace.json"
+        path.write_text(texts[0])
+        assert path.read_text() == texts[0]
+
+    def test_chrome_trace_structure(self):
+        sched, jobs, schedule = _hetero_setup()
+        recorder = TraceRecorder()
+        sched.attach_recorder(recorder)
+        sched.run(jobs, "collocation", failures=schedule)
+        trace = recorder.to_chrome_trace()
+        events = trace["traceEvents"]
+        phases = {row["ph"] for row in events}
+        assert {"M", "X", "i", "C"} <= phases
+        # Every span sits on a named pool process with non-negative duration.
+        pids = {
+            row["pid"] for row in events
+            if row["ph"] == "M" and row["name"] == "process_name"
+        }
+        for row in events:
+            if row["ph"] == "X":
+                assert row["pid"] in pids
+                assert row["dur"] >= 0.0
+        assert trace["otherData"]["policy"] == "collocation"
+        assert trace["otherData"]["recorded_events"] == len(recorder)
+        # Valid JSON end to end.
+        json.loads(recorder.chrome_trace_json())
+
+    def test_export_requires_bound_run(self):
+        with pytest.raises(RuntimeError):
+            TraceRecorder().to_chrome_trace()
+
+    def test_detach_recorder(self):
+        jobs = synthetic_trace(6, seed=1)
+        sched = ClusterScheduler(num_gpus=8)
+        recorder = TraceRecorder()
+        sched.attach_recorder(recorder)
+        sched.run(jobs, "fifo")
+        recorded = len(recorder)
+        assert recorded > 0
+        sched.attach_recorder(None)
+        sched.run(jobs, "fifo")
+        assert len(recorder) == recorded  # detached: log untouched
+
+
+# ---------------------------------------------------------------------------
+# Report CLI
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        sched, jobs, schedule = _hetero_setup(num_jobs=20, failures=2)
+        recorder = TraceRecorder()
+        sched.attach_recorder(recorder)
+        sched.run(jobs, "collocation", failures=schedule)
+        return recorder.write_chrome_trace(tmp_path / "trace.json")
+
+    def test_report_exits_zero(self, trace_path, capsys):
+        assert report(str(trace_path)) == 0
+        out = capsys.readouterr().out
+        assert "trace digest" in out
+        assert "pool a100" in out
+
+    def test_cli_main(self, trace_path):
+        from repro.obs.__main__ import main
+
+        assert main(["report", str(trace_path)]) == 0
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert report(str(bad)) == 1
+        assert report(str(tmp_path / "missing.json")) == 1
+        not_a_trace = tmp_path / "empty.json"
+        not_a_trace.write_text("{}")
+        assert report(str(not_a_trace)) == 1
+
+    def test_digest_counts(self, trace_path):
+        info = digest(load_trace(str(trace_path)))
+        assert info["num_events"] > 0
+        assert info["by_phase"]["X"] > 0
+        assert any(p["name"] == "pool a100" for p in info["pools"])
+        assert len(info["longest_spans"]) <= 10

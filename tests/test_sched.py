@@ -177,6 +177,20 @@ class TestMetrics:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile(values, 101)
+        with pytest.raises(ValueError):
+            percentile(values, -1)
+
+    def test_percentile_edges(self):
+        # Singletons answer every quantile with the one value.
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+        # Two elements: linear interpolation between them.
+        assert percentile([1.0, 3.0], 25) == pytest.approx(1.5)
+        assert percentile([1.0, 3.0], 75) == pytest.approx(2.5)
+        # Input order must not matter.
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == pytest.approx(2.5)
+        assert percentile([9.0, 1.0], 100) == 9.0
 
     def test_fleet_metrics_compute(self):
         records = [
@@ -202,9 +216,20 @@ class TestMetrics:
         assert metrics.bg_goodput == pytest.approx(200 / 10.0)
         assert records[0].queue_delay == 1.0
 
-    def test_fleet_metrics_requires_records(self):
-        with pytest.raises(ValueError):
-            FleetMetrics.compute([], num_gpus=4, makespan=1.0)
+    def test_fleet_metrics_zero_jobs(self):
+        """An idle cluster is a valid measurement, not an error."""
+        metrics = FleetMetrics.compute([], num_gpus=4, makespan=1.0)
+        assert metrics.num_jobs == 0
+        assert metrics.mean_jct == 0.0
+        assert metrics.median_jct == 0.0
+        assert metrics.p95_jct == 0.0
+        assert metrics.max_jct == 0.0
+        assert metrics.mean_queue_delay == 0.0
+        assert metrics.utilization == 0.0
+        assert metrics.fg_goodput == 0.0
+        assert metrics.bg_goodput == 0.0
+        assert metrics.preemptions == 0
+        assert metrics.lost_gpu_seconds == 0.0
 
 
 # ---------------------------------------------------------------------------
