@@ -10,6 +10,11 @@
   times are only comparable on the same machine; cross-machine gates (CI
   against a committed baseline) should pass ``ignore_time=True`` and rely on
   the deterministic op counts;
+* **throughput regressions** — higher-is-better rates in ``info`` (see
+  ``THROUGHPUT_INFO_KEYS``, e.g. the service bench's
+  ``submissions_per_sec``) that dropped more than ``max_time_regress_pct``.
+  Like wall time they are machine-dependent, so ``ignore_time=True`` skips
+  them and they never join the metric fingerprint;
 * **missing scenarios** — anything in the baseline absent from the current
   run fails; scenarios new in the current run are reported but pass.
 """
@@ -21,10 +26,22 @@ from typing import Dict, List, Tuple
 
 from .artifact import BenchArtifact
 
-__all__ = ["ComparisonRow", "Comparison", "compare_artifacts", "format_report"]
+__all__ = [
+    "ComparisonRow",
+    "Comparison",
+    "compare_artifacts",
+    "format_report",
+    "THROUGHPUT_INFO_KEYS",
+]
 
 #: Default allowed wall-time regression, in percent.
 DEFAULT_MAX_TIME_REGRESS_PCT = 10.0
+
+#: ``info`` entries that measure throughput (higher is better).  They stay
+#: out of the metric fingerprint — wall-clock rates are machine-dependent —
+#: but the gate treats them like wall time: a drop beyond
+#: ``max_time_regress_pct`` fails, and ``ignore_time`` skips the check.
+THROUGHPUT_INFO_KEYS = ("submissions_per_sec",)
 
 #: Scenario parameters that describe the *execution environment* rather than
 #: the workload: where the persistent cache lives, how many planner workers
@@ -82,6 +99,35 @@ def _changed_metrics(
         elif abs(_pct_delta(base[key], cur[key])) > tolerance_pct:
             changed.append(key)
     return sorted(changed)
+
+
+def _throughput_regression(
+    base: BenchArtifact, cur: BenchArtifact, max_regress_pct: float
+) -> "str | None":
+    """Failure message if a throughput ``info`` entry dropped too far.
+
+    Checked only when both artifacts report the key (it lives in ``info``,
+    so baselines recorded before a scenario grew the measurement are
+    exempt), and only for numeric, positive baselines — a rate is
+    higher-is-better, so the sign test is the mirror of wall time's.
+    """
+    for key in THROUGHPUT_INFO_KEYS:
+        base_rate = base.info.get(key)
+        cur_rate = cur.info.get(key)
+        if not isinstance(base_rate, (int, float)) or not isinstance(
+            cur_rate, (int, float)
+        ):
+            continue
+        if base_rate <= 0:
+            continue
+        delta = _pct_delta(float(base_rate), float(cur_rate))
+        if delta < -max_regress_pct:
+            return (
+                f"{key} regressed {delta:+.1f}% "
+                f"({base_rate:,.0f}/s -> {cur_rate:,.0f}/s, "
+                f"limit -{max_regress_pct:.1f}%)"
+            )
+    return None
 
 
 def compare_artifacts(
@@ -171,6 +217,18 @@ def compare_artifacts(
                     f"wall time regressed {time_delta:+.1f}% "
                     f"({base.wall_time_s:.3f}s -> {cur.wall_time_s:.3f}s, "
                     f"limit +{max_time_regress_pct:.1f}%)",
+                    ops_delta_pct=ops_delta,
+                    time_delta_pct=time_delta,
+                )
+            )
+            continue
+        throughput_fail = _throughput_regression(
+            base, cur, max_time_regress_pct
+        ) if not ignore_time else None
+        if throughput_fail is not None:
+            rows.append(
+                ComparisonRow(
+                    name, False, throughput_fail,
                     ops_delta_pct=ops_delta,
                     time_delta_pct=time_delta,
                 )

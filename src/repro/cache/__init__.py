@@ -29,6 +29,7 @@ from .fingerprint import (
     graph_fingerprint,
     planner_config_fingerprint,
     profiler_fingerprint,
+    trace_fingerprint,
 )
 from .store import (
     CACHE_DIR_ENV,
@@ -47,6 +48,7 @@ __all__ = [
     "profiler_fingerprint",
     "planner_config_fingerprint",
     "fleet_fingerprint",
+    "trace_fingerprint",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "ArtifactCache",

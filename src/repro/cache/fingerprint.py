@@ -32,6 +32,7 @@ __all__ = [
     "profiler_fingerprint",
     "planner_config_fingerprint",
     "fleet_fingerprint",
+    "trace_fingerprint",
 ]
 
 
@@ -117,6 +118,30 @@ def fleet_fingerprint(fleet) -> str:
         for pool in fleet.pools
     )
     return fingerprint("fleet", payload)
+
+
+def trace_fingerprint(trace) -> str:
+    """Fingerprint of a :class:`~repro.sched.traces.TraceJob` arrival log.
+
+    Order-sensitive: the same jobs submitted in a different order are a
+    different workload (trace order breaks exact-time ties in the event
+    queue).  The online service uses this to label a bridged replay with
+    the identity of the arrival log it reproduced.
+    """
+    payload = [
+        {
+            "name": job.name,
+            "model": job.model,
+            "global_batch": job.global_batch,
+            "arrival_time": job.arrival_time,
+            "iterations": job.iterations,
+            "kind": job.kind.value,
+            "amplification_limit": job.amplification_limit,
+            "max_gpus": job.max_gpus,
+        }
+        for job in trace
+    ]
+    return fingerprint("trace", payload)
 
 
 def planner_config_fingerprint(config) -> str:

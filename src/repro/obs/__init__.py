@@ -20,6 +20,7 @@ from .trace import (
     EV_COLLOCATE,
     EV_COMPLETION,
     EV_DETACH,
+    EV_CANCEL,
     EV_GPU_FREE,
     EV_GPU_GRANT,
     EV_KILL,
@@ -30,6 +31,7 @@ from .trace import (
     EV_PREEMPTION,
     EV_REPLAN,
     EV_RESTART,
+    EV_SUBMIT,
     ObsEvent,
     TraceRecorder,
 )
@@ -56,4 +58,6 @@ __all__ = [
     "EV_NODE_RECOVERY",
     "EV_GPU_GRANT",
     "EV_GPU_FREE",
+    "EV_SUBMIT",
+    "EV_CANCEL",
 ]

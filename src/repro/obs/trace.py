@@ -53,6 +53,8 @@ __all__ = [
     "EV_NODE_RECOVERY",
     "EV_GPU_GRANT",
     "EV_GPU_FREE",
+    "EV_SUBMIT",
+    "EV_CANCEL",
 ]
 
 # Event kinds the scheduler emits.  Spans open at placement/collocate and
@@ -72,9 +74,13 @@ EV_NODE_FAILURE = "node-failure"
 EV_NODE_RECOVERY = "node-recovery"
 EV_GPU_GRANT = "gpu-grant"
 EV_GPU_FREE = "gpu-free"
+# Service-layer kinds (repro.serve): admission decisions and cancellations.
+# The offline scheduler never emits them, so offline traces are unchanged.
+EV_SUBMIT = "submit"
+EV_CANCEL = "cancel"
 
 _SPAN_OPENERS = frozenset({EV_PLACEMENT, EV_COLLOCATE})
-_SPAN_CLOSERS = frozenset({EV_COMPLETION, EV_PREEMPTION, EV_KILL, EV_DETACH})
+_SPAN_CLOSERS = frozenset({EV_COMPLETION, EV_PREEMPTION, EV_KILL, EV_DETACH, EV_CANCEL})
 _SPAN_REOPENERS = frozenset({EV_REPLAN, EV_MIGRATION})
 
 _RECORDED = global_registry().counter("obs.trace.events")
@@ -278,6 +284,12 @@ class TraceRecorder:
                 pid = pool_pids.get(event.pool, 0)
                 rows.append(
                     _instant(pid, max(event.host, 0), event.kind, event.time, "p")
+                )
+            elif event.kind in (EV_SUBMIT, EV_CANCEL):
+                # Service-layer markers (admission decisions, cancellations)
+                # land on the cluster-wide track like arrivals.
+                rows.append(
+                    _instant(0, 0, f"{event.kind} {event.job}", event.time, "p")
                 )
 
             if event.free_gpus >= 0 and event.pool:

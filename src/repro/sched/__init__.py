@@ -5,6 +5,10 @@ Public API:
 * :class:`~repro.sched.scheduler.ClusterScheduler` /
   :class:`~repro.sched.scheduler.ScheduleResult` — the discrete-event
   scheduler and one run's outcome.
+* :class:`~repro.sched.engine.SchedulerEngine` — the event-dispatch core
+  one run is made of, shared by the offline ``run`` path and the online
+  :class:`~repro.serve.service.SchedulerService` (incremental arrivals,
+  virtual-clock ``advance_to``, in-flight ``cancel``).
 * :mod:`~repro.sched.policies` — :class:`FIFOPolicy`,
   :class:`ShortestRemainingGPUSecondsPolicy`, and the DeepPool-style
   :class:`CollocationAwarePolicy` (registry: :data:`POLICIES` /
@@ -23,6 +27,7 @@ Public API:
 * :mod:`~repro.sched.events` — the :class:`EventQueue` primitives.
 """
 
+from .engine import SchedulerEngine
 from .events import Event, EventKind, EventQueue, GpuPool
 from .failures import CheckpointModel, NodeFailure, inject_failures, validate_failures
 from .fleet import ClusterFleet, FleetPool, GpuPoolSpec
@@ -65,6 +70,7 @@ __all__ = [
     "get_policy",
     "floor_pow2",
     "ClusterScheduler",
+    "SchedulerEngine",
     "ScheduleResult",
     "TraceJob",
     "synthetic_trace",

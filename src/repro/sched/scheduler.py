@@ -59,7 +59,6 @@ fleet reproduces the pre-fleet scheduler bit for bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.coordinator import ClusterCoordinator
@@ -70,10 +69,8 @@ from ..core.planner.pool import PlannerPool, PlanRequest
 from ..models.graph import ModelGraph
 from ..models.registry import build_model
 from ..network.fabric import NetworkFabric, get_fabric
-from ..obs.metrics import global_registry
 from ..obs.sampler import TimeSeriesSampler
 from ..obs.trace import (
-    EV_ARRIVAL,
     EV_COLLOCATE,
     EV_COMPLETION,
     EV_DETACH,
@@ -82,7 +79,6 @@ from ..obs.trace import (
     EV_KILL,
     EV_MIGRATION,
     EV_NODE_FAILURE,
-    EV_NODE_RECOVERY,
     EV_PLACEMENT,
     EV_PREEMPTION,
     EV_REPLAN,
@@ -90,129 +86,23 @@ from ..obs.trace import (
     TraceRecorder,
 )
 from ..profiler.layer_profiler import LayerProfiler
+from .engine import (  # noqa: F401  (ScheduleResult re-exported for API stability)
+    ScheduleResult,
+    SchedulerEngine,
+    _DONE,
+    _JobState,
+    _PENDING,
+    _RUNNING,
+)
 from .events import EventKind, EventQueue
-from .failures import CheckpointModel, NodeFailure, validate_failures
+from .failures import CheckpointModel, NodeFailure
 from .fleet import ClusterFleet, FleetPool
-from .metrics import FleetMetrics, JobRecord
+from .metrics import JobRecord
 from .ordering import PendingQueue, SortedJobList
-from .policies import SchedulingPolicy, floor_pow2, get_policy, width_cap
+from .policies import SchedulingPolicy, floor_pow2, width_cap
 from .traces import TraceJob
 
 __all__ = ["ClusterScheduler", "ScheduleResult"]
-
-_PENDING = "pending"
-_RUNNING = "running"
-_DONE = "done"
-
-# Per-kind event-loop counters, prefetched at import so the loop pays one
-# dict lookup + integer add per event.  ``sched.events.stale`` counts finish
-# events discarded by lazy invalidation (not an EventKind of their own).
-_EVENT_COUNTERS = {
-    kind: global_registry().counter(f"sched.events.{kind.value}")
-    for kind in EventKind
-}
-_STALE_EVENTS = global_registry().counter("sched.events.stale")
-
-
-class _JobState:
-    """Mutable per-job simulation state (one instance per trace job per run)."""
-
-    def __init__(
-        self, trace: TraceJob, order: int, graph: ModelGraph, iso_iter_time: float
-    ) -> None:
-        self.trace = trace
-        self.order = order
-        self.graph = graph
-        #: Single-GPU time per iteration on the fleet's reference (fastest)
-        #: pool; the work estimate policies sort by.
-        self.iso_iter_time = iso_iter_time
-        self.status = _PENDING
-        self.remaining = float(trace.iterations)
-        self.version = 0
-        self.last_update = trace.arrival_time
-        self.rate = 0.0  # iterations per second while running
-        self.start_time: Optional[float] = None
-        # Foreground placement state.
-        self.width = 0
-        self.gpu_ids: List[int] = []
-        self.gpu_type: Optional[str] = None  # fleet pool of the placement
-        self.plan: Optional[TrainingPlan] = None
-        self.base_iter_time = 0.0
-        self.work_per_iteration = 0.0  # busy GPU-seconds per iteration
-        self.busy_fractions: List[float] = []
-        self.hosted: Dict[int, "_JobState"] = {}  # local GPU index -> bg job
-        #: Guests ordered by arrival order, maintained on attach/detach.
-        self.guest_order = SortedJobList()
-        # Background placement state.
-        self.host: Optional["_JobState"] = None
-        self.host_index = 0
-        #: Isolated iteration time on the pool the job is placed on (equals
-        #: ``iso_iter_time`` on a homogeneous fleet).
-        self.placed_iso_time = iso_iter_time
-        # Failure / checkpoint state.
-        self.ckpt_remaining = float(trace.iterations)
-        self.next_checkpoint: Optional[float] = None
-        self.penalty_until = 0.0  # restart overhead window of the placement
-        self.pending_restart_penalty = 0.0  # owed at the next placement
-        # Accounting.
-        self.preemptions = 0
-        self.replans = 0
-        self.restarts = 0
-        self.busy_gpu_seconds = 0.0
-        self.allocated_gpu_seconds = 0.0
-        self.lost_gpu_seconds = 0.0
-
-    # Attributes policies read (duck-typed).
-    @property
-    def name(self) -> str:
-        return self.trace.name
-
-    @property
-    def is_foreground(self) -> bool:
-        return self.trace.is_foreground
-
-    @property
-    def arrival_time(self) -> float:
-        return self.trace.arrival_time
-
-    @property
-    def global_batch(self) -> int:
-        return self.trace.global_batch
-
-    @property
-    def max_gpus(self) -> Optional[int]:
-        return self.trace.max_gpus
-
-    @property
-    def remaining_gpu_seconds(self) -> float:
-        """Estimated single-GPU compute remaining (the policy sort key)."""
-        return self.remaining * self.iso_iter_time
-
-    @property
-    def collocated(self) -> bool:
-        return self.host is not None
-
-
-@dataclass(frozen=True)
-class ScheduleResult:
-    """Outcome of one scheduler run: per-job records plus fleet metrics."""
-
-    policy: str
-    num_gpus: int
-    records: Tuple[JobRecord, ...]
-    metrics: FleetMetrics
-    #: Events the simulation processed (arrivals, finishes, node failures
-    #: and recoveries, and stale finishes discarded by lazy invalidation) —
-    #: the run's deterministic op count, reported by the benchmark harness.
-    events_processed: int = 0
-    #: Node failures injected into the run.
-    failures_injected: int = 0
-
-    def record(self, name: str) -> JobRecord:
-        for r in self.records:
-            if r.name == name:
-                return r
-        raise KeyError(f"no record for job {name!r}")
 
 
 class ClusterScheduler:
@@ -512,6 +402,41 @@ class ClusterScheduler:
                     seeded += 1
         return seeded
 
+    def prewarm_job(self, job: TraceJob) -> int:
+        """Plan every (pool, width) one foreground job could be placed at.
+
+        The online service calls this at admission time
+        (``prewarm_on_admit``) so the job's first placement never stalls on
+        a planner search.  Returns the number of plans seeded — 0 for
+        background jobs, whose dedicated and collocated rates derive from
+        the profiler rather than a plan.
+        """
+        if not job.is_foreground:
+            return 0
+        seeded = 0
+        for pool_name in self.fleet.pool_names:
+            pool_gpus = self.fleet.pool(pool_name).num_gpus
+            width = 1
+            top = floor_pow2(max(width_cap(job, pool_gpus), 1))
+            while width <= top:
+                key = self._plan_cache_key(
+                    job.model,
+                    job.global_batch,
+                    width,
+                    job.amplification_limit,
+                    pool_name,
+                )
+                if key not in self._plan_cache:
+                    self._plan_cache[key] = self._planner_for(pool_name).plan(
+                        self._graph(job.model),
+                        job.global_batch,
+                        width,
+                        amplification_limit=job.amplification_limit,
+                    )
+                    seeded += 1
+                width *= 2
+        return seeded
+
     # --------------------------------------------------------------- event loop
     def run(
         self,
@@ -525,112 +450,23 @@ class ClusterScheduler:
         :class:`~repro.sched.failures.NodeFailure` events (see
         :func:`~repro.sched.failures.inject_failures`); each one takes a
         host down at its time and brings it back after its duration.
+
+        The loop itself lives in :class:`~repro.sched.engine.SchedulerEngine`
+        (shared with the online :class:`~repro.serve.service.SchedulerService`);
+        this method is the offline driver: queue every arrival in trace
+        order, queue the failure schedule, drain to quiescence.
         """
-        policy = get_policy(policy)
         if not trace:
             raise ValueError("trace must contain at least one job")
         names = [job.name for job in trace]
         if len(set(names)) != len(names):
             raise ValueError("trace job names must be unique")
-        ordered_failures = validate_failures(self.fleet, failures) if failures else []
-        self._track_failures = bool(ordered_failures)
-
-        states: Dict[str, _JobState] = {}
-        for order, job in enumerate(trace):
-            states[job.name] = _JobState(
-                job,
-                order,
-                self._graph(job.model),
-                self._iso_iter_time(job.model, job.global_batch),
-            )
-        # Per-run registries the placement helpers consult (re-bound every
-        # run so one scheduler can serve many traces/policies).
-        self._states = states
-        self._fg_running = SortedJobList()
-        self._bg_dedicated = SortedJobList()
-
-        queue = EventQueue()
+        engine = SchedulerEngine(self, policy)
         for job in trace:
-            queue.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.name)
-        for failure in ordered_failures:
-            queue.push(failure.time, EventKind.NODE_FAILURE, "", host=failure.host)
-            queue.push(
-                failure.recovery_time, EventKind.NODE_RECOVERY, "", host=failure.host
-            )
-
-        free = FleetPool(self.fleet)
-        self._free = free  # exposed for integrity checks in tests
-        pending = PendingQueue(policy)
-        records: List[JobRecord] = []
-        first_arrival = min(job.arrival_time for job in trace)
-        last_finish = first_arrival
-
-        recorder = self._recorder
-        if recorder is not None:
-            recorder.begin_run(self.fleet, policy.name)
-        sampler = self._sampler
-        if sampler is not None:
-            sampler.begin_run()
-            gauges = self._make_gauges(pending, free)
-
-        while queue:
-            event = queue.pop()
-            now = event.time
-            if sampler is not None:
-                # Boundaries at or before ``now`` sample the state *before*
-                # this event's changes (piecewise-constant between events).
-                sampler.advance_to(now, gauges)
-            _EVENT_COUNTERS[event.kind].add(1)
-            if event.kind is EventKind.JOB_ARRIVAL:
-                state = states[event.job_name]
-                state.last_update = now
-                pending.add(state, now)
-                if recorder is not None:
-                    recorder.emit(now, EV_ARRIVAL, job=state.name)
-            elif event.kind is EventKind.NODE_FAILURE:
-                self._fail_host(event.host, now, free, pending)
-            elif event.kind is EventKind.NODE_RECOVERY:
-                free.recover_host(event.host)
-                if recorder is not None:
-                    pool = self.fleet.pool_of_host(event.host)
-                    recorder.emit(
-                        now,
-                        EV_NODE_RECOVERY,
-                        pool=pool,
-                        host=event.host,
-                        gpus=self.fleet.gpus_of_host(event.host),
-                        free_gpus=free.free_of(pool),
-                    )
-            else:
-                state = states[event.job_name]
-                if state.status != _RUNNING or event.version != state.version:
-                    _STALE_EVENTS.add(1)
-                    continue  # stale finish event (job was re-planned/preempted)
-                self._finish(state, now, free, pending, queue, records)
-                last_finish = max(last_finish, now)
-            self._schedule_pending(now, pending, free, policy, queue)
-            if policy.replan_running and not pending and free:
-                self._expand_running(now, free, policy, queue)
-
-        unfinished = [s.name for s in states.values() if s.status != _DONE]
-        if unfinished:
-            raise RuntimeError(
-                f"scheduler deadlock under policy {policy.name!r}: "
-                f"jobs never completed: {', '.join(sorted(unfinished))}"
-            )
-        # Makespan runs from the first arrival to the last completion, so a
-        # trace submitted late does not dilute utilization and goodput.
-        metrics = FleetMetrics.compute(
-            records, self.num_gpus, last_finish - first_arrival
-        )
-        return ScheduleResult(
-            policy=policy.name,
-            num_gpus=self.num_gpus,
-            records=tuple(records),
-            metrics=metrics,
-            events_processed=queue.popped,
-            failures_injected=len(ordered_failures),
-        )
+            engine.add_job(job)
+        engine.add_failures(failures)
+        engine.drain()
+        return engine.result(require_complete=True)
 
     # ---------------------------------------------------------------- progress
     @staticmethod

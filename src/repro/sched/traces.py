@@ -82,9 +82,34 @@ class TraceJob:
     def is_foreground(self) -> bool:
         return self.kind is JobKind.FOREGROUND
 
-    def with_arrival(self, arrival_time: float) -> "TraceJob":
-        """Copy of this job submitted at a different time."""
+    def with_arrival(
+        self, arrival_time: float, name: Optional[str] = None
+    ) -> "TraceJob":
+        """Copy of this job submitted at a different time.
+
+        Pass ``name`` when the copy coexists with the original in one run —
+        a service resubmission reusing the old name would be rejected at
+        submit (job names index live state), and silently reusing the old
+        arrival for ordering would jump the queue.  See :meth:`resubmitted`.
+        """
+        if name is not None:
+            return replace(self, arrival_time=arrival_time, name=name)
         return replace(self, arrival_time=arrival_time)
+
+    def resubmitted(self, arrival_time: float, attempt: int = 1) -> "TraceJob":
+        """Copy for cancel-then-resubmit through the service API.
+
+        The copy is renamed ``<name>#<attempt>`` (fresh identity, so
+        duplicate-name rejection never trips on the cancelled original) and
+        re-stamped with the new ``arrival_time`` (fresh queue position, so
+        the stale arrival can't leapfrog jobs submitted in between).
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        base, _, _ = self.name.partition("#")
+        return replace(
+            self, arrival_time=arrival_time, name=f"{base}#{attempt}"
+        )
 
     def to_training_job(self, graph: ModelGraph) -> TrainingJob:
         """The cluster-layer job description for this trace entry."""

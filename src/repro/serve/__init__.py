@@ -1,0 +1,60 @@
+"""``repro.serve`` — the online scheduler service.
+
+The live counterpart of offline trace replay: a single-process asyncio
+service wrapping :class:`~repro.sched.scheduler.ClusterScheduler` behind a
+virtual-clock event loop, with multi-tenant admission control and a
+replay-to-live bridge that is held to bit-identical metrics against the
+offline path.
+
+Public API:
+
+* :class:`~repro.serve.service.SchedulerService` — ``submit`` / ``cancel``
+  / ``query`` / ``cluster_state`` / async-iterator ``watch()``, driven by
+  ``advance_to`` / ``drain`` over simulated time.
+* :class:`~repro.serve.admission.AdmissionPolicy` /
+  :class:`~repro.serve.admission.QuotaAdmission` /
+  :class:`~repro.serve.admission.AcceptAll` with
+  :class:`~repro.serve.admission.TenantQuota` /
+  :class:`~repro.serve.admission.TenantAccount` — per-tenant GPU-second
+  quotas, max-pending caps, accept / reject / queue-with-backpressure.
+* :func:`~repro.serve.replay.replay_trace` /
+  :class:`~repro.serve.replay.ReplayReport` /
+  :func:`~repro.serve.replay.result_fingerprint` — the bridge and its
+  parity proof.
+
+``python -m repro.serve smoke`` bridges a trace and asserts offline/service
+fingerprint equality byte for byte (the CI smoke job).
+"""
+
+from .admission import (
+    AcceptAll,
+    AdmissionDecision,
+    AdmissionPolicy,
+    QuotaAdmission,
+    TenantAccount,
+    TenantQuota,
+)
+from .replay import (
+    ReplayReport,
+    replay_trace,
+    replay_trace_sync,
+    result_fingerprint,
+)
+from .service import JobHandle, JobInfo, SchedulerService, default_tenant
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AcceptAll",
+    "QuotaAdmission",
+    "TenantQuota",
+    "TenantAccount",
+    "SchedulerService",
+    "JobHandle",
+    "JobInfo",
+    "default_tenant",
+    "ReplayReport",
+    "replay_trace",
+    "replay_trace_sync",
+    "result_fingerprint",
+]

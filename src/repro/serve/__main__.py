@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro.serve``.
+
+``smoke`` runs the replay-to-live parity check CI gates on: the same trace
+is simulated twice — offline through ``ClusterScheduler.run`` and live
+through a bridged :class:`~repro.serve.service.SchedulerService` — and the
+two :func:`~repro.serve.replay.result_fingerprint` digests must match byte
+for byte.  The service side records its full obs event stream (engine
+events *and* service submit markers) and writes it as a Chrome trace next
+to a JSON summary, which CI uploads as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..obs.trace import TraceRecorder
+from ..sched import ClusterScheduler, alibaba_trace, mixed_trace, synthetic_trace
+from .replay import replay_trace_sync, result_fingerprint
+from .service import SchedulerService
+
+_GENERATORS = {
+    "synthetic": synthetic_trace,
+    "alibaba": alibaba_trace,
+    "mixed": mixed_trace,
+}
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    trace = _GENERATORS[args.trace](args.num_jobs, seed=args.seed)
+    print(
+        f"smoke: trace={args.trace} jobs={len(trace)} gpus={args.num_gpus} "
+        f"policy={args.policy} seed={args.seed}"
+    )
+
+    offline = ClusterScheduler(args.num_gpus, fabric=args.fabric).run(
+        trace, args.policy
+    )
+    offline_fp = result_fingerprint(offline)
+    print(f"offline : events={offline.events_processed} fp={offline_fp}")
+
+    recorder = TraceRecorder()
+    service = SchedulerService(
+        ClusterScheduler(args.num_gpus, fabric=args.fabric),
+        policy=args.policy,
+        recorder=recorder,
+    )
+    report = replay_trace_sync(service, trace)
+    service_fp = report.fingerprint()
+    print(
+        f"service : events={report.result.events_processed} fp={service_fp} "
+        f"(submit path: {report.jobs} jobs in {report.submit_seconds:.4f}s, "
+        f"{report.submissions_per_sec:,.0f}/s)"
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = recorder.write_chrome_trace(out / "serve_trace.json")
+    summary = {
+        "trace": args.trace,
+        "num_jobs": args.num_jobs,
+        "num_gpus": args.num_gpus,
+        "policy": args.policy,
+        "seed": args.seed,
+        "offline_fingerprint": offline_fp,
+        "service_fingerprint": service_fp,
+        "match": offline_fp == service_fp,
+        "completed": report.completed,
+        "submissions_per_sec": report.submissions_per_sec,
+        "recorded_events": len(recorder),
+    }
+    summary_path = out / "serve_summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"artifacts: {trace_path}, {summary_path}")
+
+    if offline_fp != service_fp:
+        print("FAIL: bridged replay diverged from the offline run")
+        return 1
+    print("OK: bridged replay matches the offline run byte for byte")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Online scheduler service utilities.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    smoke = sub.add_parser(
+        "smoke",
+        help="bridge a trace through the service and assert offline parity",
+    )
+    smoke.add_argument(
+        "--trace", choices=sorted(_GENERATORS), default="synthetic"
+    )
+    smoke.add_argument("--num-jobs", type=int, default=500)
+    smoke.add_argument("--num-gpus", type=int, default=256)
+    smoke.add_argument("--seed", type=int, default=11)
+    smoke.add_argument("--policy", default="collocation")
+    smoke.add_argument("--fabric", default="nvswitch")
+    smoke.add_argument(
+        "--out", default="serve-artifacts", help="artifact output directory"
+    )
+    smoke.set_defaults(fn=_cmd_smoke)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

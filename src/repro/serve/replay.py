@@ -1,0 +1,164 @@
+"""Replay-to-live bridge: drive a service from an arrival trace.
+
+:func:`replay_trace` feeds any :class:`~repro.sched.traces.TraceJob` trace
+through :meth:`SchedulerService.submit` as a load generator — advance the
+virtual clock to each arrival, submit, drain — and reports submit-path
+throughput alongside the run's :class:`~repro.sched.engine.ScheduleResult`.
+
+The proof obligation this module carries: a bridged replay under
+:class:`~repro.serve.admission.AcceptAll` produces the **same metrics
+fingerprint** as the offline ``ClusterScheduler.run`` path on the same
+trace/policy/failures (:func:`result_fingerprint` — full-precision, no
+rounding).  ``python -m repro.serve smoke`` and the test suite assert it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from dataclasses import asdict, dataclass
+from typing import Sequence, Tuple
+
+from ..cache.fingerprint import canonical_json, fingerprint, trace_fingerprint
+from ..sched.engine import ScheduleResult
+from ..sched.traces import TraceJob
+from .service import JobHandle, SchedulerService
+
+__all__ = ["ReplayReport", "replay_trace", "replay_trace_sync", "result_fingerprint"]
+
+
+def result_fingerprint(result: ScheduleResult) -> str:
+    """Full-precision fingerprint of a run's deterministic outcome.
+
+    Covers the op count and every fleet metric at exact float precision
+    (via :func:`~repro.cache.fingerprint.canonical_json` reprs), so two
+    runs share a fingerprint iff they simulated the same event history —
+    the equality the replay-to-live bridge is held to.
+    """
+    return fingerprint(
+        "schedule-result",
+        {
+            "policy": result.policy,
+            "num_gpus": result.num_gpus,
+            "events_processed": result.events_processed,
+            "failures_injected": result.failures_injected,
+            "metrics": asdict(result.metrics),
+        },
+    )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one bridged replay."""
+
+    #: Jobs submitted through the service API.
+    jobs: int
+    #: Admission decisions at submit time.
+    accepted_at_submit: int
+    queued_at_submit: int
+    rejected_at_submit: int
+    #: Final dispositions after drain.
+    completed: int
+    rejected: int
+    cancelled: int
+    #: Wall-clock seconds spent inside ``submit`` calls (the submit path
+    #: only — clock advances and the drain are excluded).
+    submit_seconds: float
+    #: Identity of the arrival log that was bridged.
+    trace_fingerprint: str
+    result: ScheduleResult
+    handles: Tuple[JobHandle, ...] = ()
+
+    @property
+    def submissions_per_sec(self) -> float:
+        """Sustained submit-path throughput of this replay."""
+        if self.submit_seconds <= 0.0:
+            return float("inf")
+        return self.jobs / self.submit_seconds
+
+    def fingerprint(self) -> str:
+        """The run's :func:`result_fingerprint` (throughput excluded)."""
+        return result_fingerprint(self.result)
+
+    def summary(self) -> str:
+        """Canonical one-line JSON summary (deterministic fields only)."""
+        return canonical_json(
+            {
+                "jobs": self.jobs,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "queued_at_submit": self.queued_at_submit,
+                "trace_fingerprint": self.trace_fingerprint,
+                "result_fingerprint": self.fingerprint(),
+            }
+        )
+
+
+async def replay_trace(
+    service: SchedulerService,
+    trace: Sequence[TraceJob],
+    require_complete: bool = True,
+) -> ReplayReport:
+    """Bridge a trace through the live submission API and run to quiescence.
+
+    Jobs are submitted in trace order; before each submission the virtual
+    clock advances to the job's arrival time, so the engine sees the exact
+    event interleaving the offline path derives from the same log.  The
+    trace must be arrival-ordered (every generator in
+    :mod:`repro.sched.traces` returns it that way).
+    """
+    if not trace:
+        raise ValueError("trace must contain at least one job")
+    last = None
+    for job in trace:
+        if last is not None and job.arrival_time < last:
+            raise ValueError(
+                "trace must be sorted by arrival time to bridge it live "
+                f"(job {job.name!r} arrives at {job.arrival_time} after "
+                f"{last})"
+            )
+        last = job.arrival_time
+
+    handles = []
+    submit_seconds = 0.0
+    queued_at_submit = 0
+    rejected_at_submit = 0
+    for job in trace:
+        await service.advance_to(job.arrival_time)
+        begin = _time.perf_counter()
+        handle = await service.submit(job)
+        submit_seconds += _time.perf_counter() - begin
+        handles.append(handle)
+        # Decision as made at submit time (a queued job may be admitted by
+        # a later completion, so sample before the clock moves again).
+        status = handle.status()
+        if status == "queued":
+            queued_at_submit += 1
+        elif status == "rejected":
+            rejected_at_submit += 1
+    await service.drain()
+    result = service.result(require_complete=require_complete)
+    statuses = [h.status() for h in handles]
+    return ReplayReport(
+        jobs=len(handles),
+        accepted_at_submit=len(handles) - queued_at_submit - rejected_at_submit,
+        queued_at_submit=queued_at_submit,
+        rejected_at_submit=rejected_at_submit,
+        completed=statuses.count("done"),
+        rejected=statuses.count("rejected"),
+        cancelled=statuses.count("cancelled"),
+        submit_seconds=submit_seconds,
+        trace_fingerprint=trace_fingerprint(trace),
+        result=result,
+        handles=tuple(handles),
+    )
+
+
+def replay_trace_sync(
+    service: SchedulerService,
+    trace: Sequence[TraceJob],
+    require_complete: bool = True,
+) -> ReplayReport:
+    """:func:`replay_trace` for synchronous callers (benchmarks, CLIs)."""
+    return asyncio.run(replay_trace(service, trace, require_complete))

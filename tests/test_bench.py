@@ -25,10 +25,18 @@ from repro.profiler import LayerProfiler
 SMALL_GRID = {"models": ["vgg11"], "gpu_counts": [1, 2, 4]}
 SMALL_SCHED = {"num_gpus": 8, "num_jobs": 12, "seed": 3}
 SMALL_MATRIX = {"sim_time": 0.01}
+SMALL_SERVE = {
+    "num_gpus": 16,
+    "num_jobs": 40,
+    "seed": 3,
+    "quota_gpu_seconds": 2000.0,
+    "max_pending": 4,
+}
 SMALL_PARAMS = {
     "planner_grid": SMALL_GRID,
     "sched_sim": SMALL_SCHED,
     "collocation_matrix": SMALL_MATRIX,
+    "sched_service": SMALL_SERVE,
 }
 
 
@@ -194,6 +202,35 @@ class TestCompare:
         assert compare_artifacts(
             bare, wired, ignore_time=True, require_counters=True
         ).ok
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        """submissions_per_sec is gated like wall time: a >10% drop fails."""
+        base = {"s": _artifact("s", info={"submissions_per_sec": 20_000.0})}
+        slow = {"s": _artifact("s", info={"submissions_per_sec": 15_000.0})}
+        comparison = compare_artifacts(base, slow, max_time_regress_pct=10.0)
+        assert not comparison.ok
+        assert "submissions_per_sec regressed" in comparison.failures[0].reason
+
+    def test_throughput_drop_within_threshold_passes(self):
+        base = {"s": _artifact("s", info={"submissions_per_sec": 20_000.0})}
+        ok = {"s": _artifact("s", info={"submissions_per_sec": 19_000.0})}
+        assert compare_artifacts(base, ok, max_time_regress_pct=10.0).ok
+        # Gains never fail, however large.
+        fast = {"s": _artifact("s", info={"submissions_per_sec": 90_000.0})}
+        assert compare_artifacts(base, fast, max_time_regress_pct=10.0).ok
+
+    def test_ignore_time_skips_throughput(self):
+        """Rates are wall-clock figures: cross-machine gates must skip them."""
+        base = {"s": _artifact("s", info={"submissions_per_sec": 20_000.0})}
+        slow = {"s": _artifact("s", info={"submissions_per_sec": 1_000.0})}
+        assert compare_artifacts(base, slow, ignore_time=True).ok
+
+    def test_throughput_missing_on_either_side_passes(self):
+        """Baselines recorded before a scenario grew the rate are exempt."""
+        with_rate = {"s": _artifact("s", info={"submissions_per_sec": 9_000.0})}
+        without = {"s": _artifact("s")}
+        assert compare_artifacts(without, with_rate).ok
+        assert compare_artifacts(with_rate, without).ok
 
 
 class TestSweep:
