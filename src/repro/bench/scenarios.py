@@ -401,6 +401,8 @@ def sched_sim_hetero(
     fabric="nvswitch",
     quota_gpu_seconds=16000.0,
     max_pending=8,
+    journal_dir=None,
+    snapshot_every=None,
 )
 def sched_service(
     num_gpus: int,
@@ -411,6 +413,8 @@ def sched_service(
     fabric: str,
     quota_gpu_seconds: float,
     max_pending: int,
+    journal_dir: Optional[str],
+    snapshot_every: Optional[int],
 ) -> ScenarioResult:
     """Replay-to-live bridge under admission control; ops = events processed.
 
@@ -425,6 +429,14 @@ def sched_service(
     The submit-path throughput (``submissions_per_sec``) goes to the
     non-gated ``info`` block; ``compare`` treats it like wall time (>10%
     regression fails) without folding it into the fingerprint.
+
+    ``journal_dir``/``snapshot_every`` switch on the write-ahead intent
+    journal and durable snapshots (:mod:`repro.serve.journal` /
+    :mod:`repro.serve.recovery`).  Durability is write-path only — it
+    never alters the simulation — so fingerprints are identical with it on
+    or off, which is why both sit in
+    :data:`~repro.bench.compare.ENVIRONMENT_PARAMS` and committed
+    baselines stay byte-identical either way.
     """
     jobs = _make_trace(trace, num_jobs, seed)
     admission = QuotaAdmission(
@@ -434,6 +446,8 @@ def sched_service(
         ClusterScheduler(num_gpus, fabric=fabric),
         policy=policy,
         admission=admission,
+        journal_dir=journal_dir,
+        snapshot_every=snapshot_every,
     )
     report = replay_trace_sync(service, jobs)
     m = report.result.metrics

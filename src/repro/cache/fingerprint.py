@@ -33,6 +33,7 @@ __all__ = [
     "planner_config_fingerprint",
     "fleet_fingerprint",
     "trace_fingerprint",
+    "snapshot_fingerprint",
 ]
 
 
@@ -142,6 +143,18 @@ def trace_fingerprint(trace) -> str:
         for job in trace
     ]
     return fingerprint("trace", payload)
+
+
+def snapshot_fingerprint(payload) -> str:
+    """Fingerprint of an :class:`~repro.sched.snapshot.EngineSnapshot` payload.
+
+    Content-addresses a captured engine state: two runs that froze the same
+    simulation at the same event boundary share a digest, and a persisted
+    snapshot whose recorded fingerprint no longer matches its payload has
+    been corrupted — the recovery path verifies this before applying a
+    single field.
+    """
+    return fingerprint("engine-snapshot", payload)
 
 
 def planner_config_fingerprint(config) -> str:

@@ -29,8 +29,10 @@ from .trace import (
     EV_NODE_RECOVERY,
     EV_PLACEMENT,
     EV_PREEMPTION,
+    EV_RECOVERY,
     EV_REPLAN,
     EV_RESTART,
+    EV_SNAPSHOT,
     EV_SUBMIT,
     ObsEvent,
     TraceRecorder,
@@ -60,4 +62,6 @@ __all__ = [
     "EV_GPU_FREE",
     "EV_SUBMIT",
     "EV_CANCEL",
+    "EV_SNAPSHOT",
+    "EV_RECOVERY",
 ]

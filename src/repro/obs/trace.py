@@ -55,6 +55,8 @@ __all__ = [
     "EV_GPU_FREE",
     "EV_SUBMIT",
     "EV_CANCEL",
+    "EV_SNAPSHOT",
+    "EV_RECOVERY",
 ]
 
 # Event kinds the scheduler emits.  Spans open at placement/collocate and
@@ -78,6 +80,11 @@ EV_GPU_FREE = "gpu-free"
 # The offline scheduler never emits them, so offline traces are unchanged.
 EV_SUBMIT = "submit"
 EV_CANCEL = "cancel"
+# Durability kinds (repro.serve crash safety): a state snapshot was
+# persisted / a crashed service recovered.  Emission is read-only, so
+# metric fingerprints are identical with snapshotting on or off.
+EV_SNAPSHOT = "snapshot"
+EV_RECOVERY = "recovery"
 
 _SPAN_OPENERS = frozenset({EV_PLACEMENT, EV_COLLOCATE})
 _SPAN_CLOSERS = frozenset({EV_COMPLETION, EV_PREEMPTION, EV_KILL, EV_DETACH, EV_CANCEL})
@@ -291,6 +298,11 @@ class TraceRecorder:
                 rows.append(
                     _instant(0, 0, f"{event.kind} {event.job}", event.time, "p")
                 )
+            elif event.kind in (EV_SNAPSHOT, EV_RECOVERY):
+                # Durability markers: snapshot cadence and crash recoveries
+                # on the cluster-wide track, detail carried verbatim.
+                label = f"{event.kind} {event.detail}".rstrip()
+                rows.append(_instant(0, 0, label, event.time, "p"))
 
             if event.free_gpus >= 0 and event.pool:
                 rows.append(

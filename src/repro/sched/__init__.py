@@ -25,6 +25,9 @@ Public API:
   :class:`CheckpointModel` / :func:`inject_failures`: host failures and the
   checkpoint/restart cost model.
 * :mod:`~repro.sched.events` — the :class:`EventQueue` primitives.
+* :mod:`~repro.sched.snapshot` — :class:`EngineSnapshot`: crash-safe
+  capture/restore of a live engine at any event boundary
+  (``SchedulerEngine.snapshot()`` / ``.restore()``), fingerprint-exact.
 """
 
 from .engine import SchedulerEngine
@@ -33,6 +36,7 @@ from .failures import CheckpointModel, NodeFailure, inject_failures, validate_fa
 from .fleet import ClusterFleet, FleetPool, GpuPoolSpec
 from .metrics import FleetMetrics, JobRecord, percentile
 from .ordering import PendingQueue, SortedJobList
+from .snapshot import SNAPSHOT_SCHEMA, EngineSnapshot
 from .policies import (
     POLICIES,
     CollocationAwarePolicy,
@@ -72,6 +76,8 @@ __all__ = [
     "ClusterScheduler",
     "SchedulerEngine",
     "ScheduleResult",
+    "EngineSnapshot",
+    "SNAPSHOT_SCHEMA",
     "TraceJob",
     "synthetic_trace",
     "alibaba_trace",

@@ -21,7 +21,7 @@ as ``run()`` historically did — integrity tests inspect them there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.planner.plan import TrainingPlan
 from ..models.graph import ModelGraph
@@ -34,6 +34,9 @@ from .metrics import FleetMetrics, JobRecord
 from .ordering import PendingQueue, SortedJobList
 from .policies import SchedulingPolicy, get_policy
 from .traces import TraceJob
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .snapshot import EngineSnapshot
 
 __all__ = ["SchedulerEngine", "ScheduleResult"]
 
@@ -396,6 +399,29 @@ class SchedulerEngine:
         state.version += 1
         self._schedule_point(now)
         return True
+
+    # ------------------------------------------------------- snapshot/restore
+    def snapshot(self) -> "EngineSnapshot":
+        """Freeze the run's complete state (see :mod:`repro.sched.snapshot`).
+
+        Legal at any event boundary — between :meth:`step` calls, after an
+        :meth:`advance_to`, mid-drain.  The capture is read-only: taking a
+        snapshot never changes the run's subsequent event history.
+        """
+        from .snapshot import EngineSnapshot
+
+        return EngineSnapshot.capture(self)
+
+    def restore(self, snapshot: "EngineSnapshot") -> None:
+        """Load a snapshot into this freshly constructed engine.
+
+        The engine must be new (no jobs added, clock at zero) and built on a
+        scheduler whose fleet, policy and planner/profiler configuration
+        match the capturing run; continuing afterwards reproduces the
+        uninterrupted run's event history exactly — same
+        ``events_processed``, same metrics, same ``result_fingerprint``.
+        """
+        snapshot.apply(self)
 
     # ---------------------------------------------------------------- results
     def unfinished(self) -> List[str]:

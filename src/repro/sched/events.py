@@ -18,15 +18,23 @@ re-sorted on every placement.
 Finish events are *lazily invalidated*: re-planning or preempting a job bumps
 the job's version counter instead of searching the heap, and stale events are
 discarded when popped.  This keeps re-planning O(log n) per change.
+
+**Total-order audit** (crash-safe snapshots rely on it): ``seq`` is assigned
+from a per-queue monotonic counter, so no two events of one queue ever share
+``(time, seq)`` — ``Event.__lt__`` is a *strict total order* with no
+equal-priority ambiguity left for heap internals to break arbitrarily.  That
+is what lets :mod:`repro.sched.snapshot` serialize the heap as its sorted
+event list (a canonical form independent of the heap's internal array
+layout) and restore it bit-compatibly: the extraction sequence of a heap is
+a pure function of the total order, never of insertion history.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..obs.metrics import global_registry
 
@@ -96,7 +104,9 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._counter = itertools.count()
+        # Explicit int (not itertools.count) so snapshot/restore can capture
+        # and resume the exact sequence numbering mid-run.
+        self._next_seq = 0
         registry = global_registry()
         self._pushed = registry.scoped_counter("sched.heap.pushes")
         self._popped = registry.scoped_counter("sched.heap.pops")
@@ -124,12 +134,13 @@ class EventQueue:
             raise ValueError("event time must be non-negative")
         event = Event(
             time=time,
-            seq=next(self._counter),
+            seq=self._next_seq,
             kind=kind,
             job_name=job_name,
             version=version,
             host=host,
         )
+        self._next_seq += 1
         heapq.heappush(self._heap, event)
         self._pushed.add(1)
         return event
@@ -150,6 +161,51 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    # ------------------------------------------------------- snapshot/restore
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Canonical capture of the queue: sorted events + counter state.
+
+        The heap is serialized in ``(time, seq)`` order — the strict total
+        order ``__lt__`` implements — so two queues holding the same events
+        always serialize identically, whatever their internal array layout.
+        ``pushed``/``popped`` travel along because ``popped`` is the run's
+        deterministic op count (``ScheduleResult.events_processed``); a
+        restored run must keep counting from where the original stood.
+        """
+        events = sorted(self._heap)
+        return {
+            "events": [
+                [e.time, e.seq, e.kind.value, e.job_name, e.version, e.host]
+                for e in events
+            ],
+            "next_seq": self._next_seq,
+            "pushed": self._pushed.value,
+            "popped": self._popped.value,
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Rebuild this queue from :meth:`snapshot_state` output.
+
+        A list sorted by ``(time, seq)`` already satisfies the heap
+        invariant, so restoration is O(n); ``heapify`` is kept as a guard
+        against hand-edited payloads.
+        """
+        self._heap = [
+            Event(
+                time=row[0],
+                seq=row[1],
+                kind=EventKind(row[2]),
+                job_name=row[3],
+                version=row[4],
+                host=row[5],
+            )
+            for row in payload["events"]
+        ]
+        heapq.heapify(self._heap)
+        self._next_seq = payload["next_seq"]
+        self._pushed.add(payload["pushed"] - self._pushed.value)
+        self._popped.add(payload["popped"] - self._popped.value)
 
 
 class GpuPool:

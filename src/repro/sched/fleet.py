@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from ..profiler.gpu_spec import A100_40GB, GPUSpec
 from .events import GpuPool
@@ -291,3 +291,37 @@ class FleetPool:
 
     def __bool__(self) -> bool:
         return any(self._free.values())
+
+    # ------------------------------------------------------- snapshot/restore
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Canonical capture: per-pool sorted free lists + down bookkeeping.
+
+        Free ids are dumped sorted — a :class:`GpuPool` heap's take order is
+        a pure function of its id *set* (always the lowest free id), so the
+        sorted list is a canonical form independent of heap layout.
+        """
+        return {
+            "free": {name: pool.ids() for name, pool in self._free.items()},
+            "down": sorted(self._down),
+            "down_hosts": sorted(self._down_hosts),
+        }
+
+    def restore_state(self, payload: Dict[str, Any]) -> None:
+        """Rebuild free/down state in place from :meth:`snapshot_state`.
+
+        Mutates this instance rather than returning a new one: the engine's
+        telemetry gauges close over the ``FleetPool`` reference, so identity
+        must survive a restore.
+        """
+        if set(payload["free"]) != set(self._fleet.pool_names):
+            raise ValueError(
+                "fleet snapshot pools do not match this fleet: "
+                f"{sorted(payload['free'])} vs {sorted(self._fleet.pool_names)}"
+            )
+        # Rebuild in fleet declaration order, not payload order — canonical
+        # JSON sorts keys, and dict iteration order must stay deterministic.
+        self._free = {
+            name: GpuPool(payload["free"][name]) for name in self._fleet.pool_names
+        }
+        self._down = set(payload["down"])
+        self._down_hosts = set(payload["down_hosts"])

@@ -30,8 +30,7 @@ code this replaces.
 from __future__ import annotations
 
 import bisect
-import itertools
-from typing import Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 __all__ = ["SortedJobList", "PendingQueue"]
 
@@ -50,12 +49,15 @@ class SortedJobList:
         self._keys: List[Tuple] = []
         self._items: List = []
         self._key_of: Dict[str, Tuple] = {}
-        self._seq = itertools.count()
+        # Explicit int (not itertools.count) so snapshot/restore can resume
+        # the tie-break numbering exactly where the original run stood.
+        self._next_seq = 0
 
     def add(self, item, key: Tuple) -> None:
         if item.name in self._key_of:
             raise ValueError(f"job {item.name!r} already tracked")
-        full = tuple(key) + (next(self._seq),)
+        full = tuple(key) + (self._next_seq,)
+        self._next_seq += 1
         index = bisect.bisect_left(self._keys, full)
         self._keys.insert(index, full)
         self._items.insert(index, item)
@@ -90,6 +92,38 @@ class SortedJobList:
         self._keys.clear()
         self._items.clear()
         self._key_of.clear()
+
+    # ------------------------------------------------------- snapshot/restore
+    def dump(self) -> Dict[str, Any]:
+        """Serializable capture: entries in key order plus the seq counter.
+
+        Stored keys are tuples of floats/ints (policy keys extended with the
+        tie-break seq); JSON round-trips them as lists whose elementwise
+        comparison semantics match the originals, so :meth:`load` can insert
+        them back verbatim.
+        """
+        return {
+            "entries": [
+                [item.name, list(self._key_of[item.name])] for item in self._items
+            ],
+            "next_seq": self._next_seq,
+        }
+
+    def load(self, payload: Dict[str, Any], resolve: Callable[[str], Any]) -> None:
+        """Rebuild from :meth:`dump` output; ``resolve`` maps names to items.
+
+        Entries were dumped in sorted order with their *full* keys (tie-break
+        seq included), so they are appended directly — no re-keying, no
+        re-sorting — and future insertions interleave exactly as they would
+        have in the original run.
+        """
+        self.clear()
+        for name, key in payload["entries"]:
+            full = tuple(key)
+            self._keys.append(full)
+            self._items.append(resolve(name))
+            self._key_of[name] = full
+        self._next_seq = payload["next_seq"]
 
 
 class PendingQueue:
@@ -138,3 +172,16 @@ class PendingQueue:
 
     def __bool__(self) -> bool:
         return bool(self._jobs)
+
+    # ------------------------------------------------------- snapshot/restore
+    def dump(self) -> Dict[str, Any]:
+        """Serializable capture of the queue (policy itself is not captured)."""
+        return {
+            "jobs": self._jobs.dump(),
+            "foreground_waiting": self.foreground_waiting,
+        }
+
+    def load(self, payload: Dict[str, Any], resolve: Callable[[str], Any]) -> None:
+        """Rebuild from :meth:`dump`; the policy must match the dumping run."""
+        self._jobs.load(payload["jobs"], resolve)
+        self.foreground_waiting = payload["foreground_waiting"]

@@ -21,9 +21,20 @@ Public API:
   :class:`~repro.serve.replay.ReplayReport` /
   :func:`~repro.serve.replay.result_fingerprint` — the bridge and its
   parity proof.
+* :class:`~repro.serve.journal.IntentJournal` /
+  :func:`~repro.serve.recovery.recover_service` /
+  :func:`~repro.serve.recovery.write_snapshot` — crash safety: a
+  write-ahead journal of service intents, snapshot-anchored recovery with
+  graceful degradation, and a :class:`~repro.serve.recovery.RecoveryReport`
+  quantifying any loss.
+* :class:`~repro.serve.chaos.CrashPlan` /
+  :func:`~repro.serve.chaos.run_crash_plan` — the seeded crash-fault
+  harness that SIGKILLs a live service and asserts recovered-vs-
+  uninterrupted fingerprint parity.
 
 ``python -m repro.serve smoke`` bridges a trace and asserts offline/service
-fingerprint equality byte for byte (the CI smoke job).
+fingerprint equality byte for byte (the CI smoke job); ``--crash N`` runs
+the same workload through N seeded kill/recover cycles first.
 """
 
 from .admission import (
@@ -33,6 +44,15 @@ from .admission import (
     QuotaAdmission,
     TenantAccount,
     TenantQuota,
+)
+from .chaos import ChaosReport, CrashPlan, CrashPoint, run_crash_plan
+from .journal import IntentJournal, JournalRecord, JournalScan, scan_journal
+from .recovery import (
+    RecoveryReport,
+    list_snapshots,
+    load_snapshot,
+    recover_service,
+    write_snapshot,
 )
 from .replay import (
     ReplayReport,
@@ -57,4 +77,17 @@ __all__ = [
     "replay_trace",
     "replay_trace_sync",
     "result_fingerprint",
+    "IntentJournal",
+    "JournalRecord",
+    "JournalScan",
+    "scan_journal",
+    "RecoveryReport",
+    "recover_service",
+    "write_snapshot",
+    "load_snapshot",
+    "list_snapshots",
+    "ChaosReport",
+    "CrashPlan",
+    "CrashPoint",
+    "run_crash_plan",
 ]

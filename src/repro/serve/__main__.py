@@ -7,6 +7,12 @@ two :func:`~repro.serve.replay.result_fingerprint` digests must match byte
 for byte.  The service side records its full obs event stream (engine
 events *and* service submit markers) and writes it as a Chrome trace next
 to a JSON summary, which CI uploads as a workflow artifact.
+
+``smoke --crash N`` additionally runs the crash-fault harness
+(:mod:`repro.serve.chaos`) first: the same workload parameters drive a
+durable service through N seeded SIGKILL/recover cycles in subprocesses,
+and the recovered end state must match the uninterrupted one byte for
+byte.  ``chaos-worker`` is the internal subcommand those subprocesses run.
 """
 
 from __future__ import annotations
@@ -14,11 +20,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 from typing import List, Optional
 
 from ..obs.trace import TraceRecorder
 from ..sched import ClusterScheduler, alibaba_trace, mixed_trace, synthetic_trace
+from .chaos import CrashPlan, CrashPoint, default_spec, run_chaos_worker, run_crash_plan
 from .replay import replay_trace_sync, result_fingerprint
 from .service import SchedulerService
 
@@ -35,6 +43,13 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         f"smoke: trace={args.trace} jobs={len(trace)} gpus={args.num_gpus} "
         f"policy={args.policy} seed={args.seed}"
     )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.crash:
+        code = _run_crash_smoke(args, out)
+        if code != 0:
+            return code
 
     offline = ClusterScheduler(args.num_gpus, fabric=args.fabric).run(
         trace, args.policy
@@ -56,8 +71,6 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         f"{report.submissions_per_sec:,.0f}/s)"
     )
 
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
     trace_path = recorder.write_chrome_trace(out / "serve_trace.json")
     summary = {
         "trace": args.trace,
@@ -83,6 +96,73 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_crash_smoke(args: argparse.Namespace, out: Path) -> int:
+    """Kill-loop smoke: N seeded crash/recover cycles must end byte-identical."""
+    spec = default_spec(
+        num_jobs=min(args.num_jobs, 150),
+        num_gpus=args.num_gpus,
+        seed=args.seed,
+        policy=args.policy,
+        generator=args.trace,
+        fabric=args.fabric,
+    )
+    plan = CrashPlan.seeded(args.crash_seed, args.crash)
+    print(
+        f"chaos   : {len(plan.points)} seeded crash points "
+        f"(seed={args.crash_seed}): "
+        + ", ".join(
+            f"{p.kind}@{p.at}" + (f"+{p.torn_bytes}b" if p.kind == "append" else "")
+            for p in plan.points
+        )
+    )
+    with tempfile.TemporaryDirectory(prefix="serve-chaos-") as workdir:
+        report = run_crash_plan(
+            plan, spec, workdir, trace_out=out / "chaos_recovery_trace.json"
+        )
+    summary = {
+        "crash_points": [
+            {"kind": p.kind, "at": p.at, "torn_bytes": p.torn_bytes}
+            for p in plan.points
+        ],
+        "crashes": report.crashes,
+        "unreached": report.unreached,
+        "baseline_fingerprint": report.baseline_fingerprint,
+        "final_fingerprint": report.final_fingerprint,
+        "tenants_match": report.tenants_match,
+        "recoveries": report.recoveries,
+        "ok": report.ok,
+    }
+    (out / "chaos_summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"chaos   : crashes={report.crashes} unreached={report.unreached} "
+        f"baseline={report.baseline_fingerprint} final={report.final_fingerprint} "
+        f"tenants_match={report.tenants_match}"
+    )
+    if not report.ok:
+        print("FAIL: recovered run diverged from the uninterrupted run")
+        return 1
+    print("OK: every crash/recover cycle converged to the uninterrupted state")
+    return 0
+
+
+def _cmd_chaos_worker(args: argparse.Namespace) -> int:
+    """Internal: one crash-harness worker run (may SIGKILL itself)."""
+    spec = json.loads(args.spec)
+    crash = None
+    if args.crash_kind:
+        crash = CrashPoint(args.crash_kind, args.crash_at, args.torn_bytes)
+    state = run_chaos_worker(
+        spec,
+        args.dir if args.dir != "-" else None,
+        crash=crash,
+        trace_out=args.trace_out,
+    )
+    print(json.dumps(state, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -104,7 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument(
         "--out", default="serve-artifacts", help="artifact output directory"
     )
+    smoke.add_argument(
+        "--crash",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the crash-fault harness first: N seeded SIGKILL/recover "
+        "cycles that must end byte-identical to the uninterrupted run",
+    )
+    smoke.add_argument("--crash-seed", type=int, default=1337)
     smoke.set_defaults(fn=_cmd_smoke)
+
+    worker = sub.add_parser(
+        "chaos-worker",
+        help="internal: one crash-harness worker run (may SIGKILL itself)",
+    )
+    worker.add_argument(
+        "--dir",
+        required=True,
+        help="durable state directory ('-' = baseline, no journal)",
+    )
+    worker.add_argument("--spec", required=True, help="workload spec as JSON")
+    worker.add_argument("--crash-kind", choices=["step", "append"], default="")
+    worker.add_argument("--crash-at", type=int, default=0)
+    worker.add_argument("--torn-bytes", type=int, default=0)
+    worker.add_argument("--trace-out", default=None)
+    worker.set_defaults(fn=_cmd_chaos_worker)
     return parser
 
 

@@ -97,12 +97,16 @@ class TenantAccount:
         self.queued = 0
         registry = global_registry()
         prefix = f"serve.tenant.{name}"
-        self.submitted_c = registry.counter(f"{prefix}.submitted")
-        self.admitted_c = registry.counter(f"{prefix}.admitted")
-        self.queued_c = registry.counter(f"{prefix}.queued")
-        self.rejected_c = registry.counter(f"{prefix}.rejected")
-        self.completed_c = registry.counter(f"{prefix}.completed")
-        self.cancelled_c = registry.counter(f"{prefix}.cancelled")
+        # Scoped (per-account) counters rolling up into the registered
+        # ``serve.tenant.<name>.*`` aggregates: a recovered service restores
+        # its own ledger exactly without re-counting another instance's
+        # traffic, while process-wide totals still accumulate.
+        self.submitted_c = registry.scoped_counter(f"{prefix}.submitted")
+        self.admitted_c = registry.scoped_counter(f"{prefix}.admitted")
+        self.queued_c = registry.scoped_counter(f"{prefix}.queued")
+        self.rejected_c = registry.scoped_counter(f"{prefix}.rejected")
+        self.completed_c = registry.scoped_counter(f"{prefix}.completed")
+        self.cancelled_c = registry.scoped_counter(f"{prefix}.cancelled")
 
     @property
     def available(self) -> float:
@@ -145,6 +149,34 @@ class TenantAccount:
             "completed": self.completed_c.value,
             "cancelled": self.cancelled_c.value,
         }
+
+    def restore_ledger(
+        self,
+        committed: float,
+        used: float,
+        engine_pending: int,
+        queued: int,
+        counters: Mapping[str, int],
+    ) -> None:
+        """Set the ledger to a snapshotted state (crash recovery only).
+
+        Counters are scoped to this account, so setting them exactly cannot
+        perturb another service instance; the parent aggregates absorb the
+        restored totals as ordinary increments.
+        """
+        self.committed = committed
+        self.used = used
+        self.engine_pending = engine_pending
+        self.queued = queued
+        for key, counter in (
+            ("submitted", self.submitted_c),
+            ("admitted", self.admitted_c),
+            ("queued", self.queued_c),
+            ("rejected", self.rejected_c),
+            ("completed", self.completed_c),
+            ("cancelled", self.cancelled_c),
+        ):
+            counter.add(counters[key] - counter.value)
 
 
 class AdmissionPolicy:
@@ -198,6 +230,15 @@ class QuotaAdmission(AdmissionPolicy):
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default)
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Replace one tenant's quota (new accounts pick it up immediately).
+
+        Live accounts are re-pointed by
+        :meth:`~repro.serve.service.SchedulerService.set_quota`, which
+        journals the change so recovery reconstructs the same bounds.
+        """
+        self.quotas[tenant] = quota
 
     def decide(
         self, account: TenantAccount, job: TraceJob, estimate: float

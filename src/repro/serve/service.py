@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
+    Any,
     AsyncIterator,
     Callable,
     Deque,
@@ -59,13 +61,22 @@ from ..obs.trace import (
 from ..sched.engine import _CANCELLED, ScheduleResult, SchedulerEngine
 from ..sched.failures import NodeFailure
 from ..sched.policies import SchedulingPolicy
+from ..sched.snapshot import (
+    EngineSnapshot,
+    _dec_float,
+    _dump_trace_job,
+    _enc_float,
+    _load_trace_job,
+)
 from ..sched.traces import TraceJob
 from .admission import (
     AcceptAll,
     AdmissionDecision,
     AdmissionPolicy,
     TenantAccount,
+    TenantQuota,
 )
+from .journal import IntentJournal, JournalRecord
 
 __all__ = ["SchedulerService", "JobHandle", "JobInfo", "default_tenant"]
 
@@ -272,6 +283,23 @@ class SchedulerService:
         Plan every (pool, width) a job could use at admission time
         (:meth:`~repro.sched.scheduler.ClusterScheduler.prewarm_job`), so
         its placements never stall on a planner search mid-run.
+    journal_dir:
+        Directory for the write-ahead intent journal
+        (:class:`~repro.serve.journal.IntentJournal`).  Every submit,
+        cancel and quota change is persisted *before* it is applied, making
+        the service crash-recoverable via
+        :func:`~repro.serve.recovery.recover_service`.  The directory must
+        not already hold durable state — recovery owns that path.
+    snapshot_every:
+        Write a durable service snapshot every N journaled intents (and
+        compact the journal behind the oldest retained snapshot).  Requires
+        ``journal_dir``.
+    snapshot_keep:
+        How many snapshot generations to retain (older ones bound the
+        journal suffix a recovery may have to replay).
+    journal_fsync:
+        Fsync every journal append (default).  Disable only in tests that
+        inject their own crash points.
     """
 
     def __init__(
@@ -283,6 +311,10 @@ class SchedulerService:
         recorder: Optional[TraceRecorder] = None,
         tenant_of: Optional[Callable[[TraceJob], str]] = None,
         prewarm_on_admit: bool = False,
+        journal_dir: Optional[Union[str, Path]] = None,
+        snapshot_every: Optional[int] = None,
+        snapshot_keep: int = 2,
+        journal_fsync: bool = True,
     ) -> None:
         self.scheduler = scheduler
         self.admission = admission if admission is not None else AcceptAll()
@@ -293,12 +325,31 @@ class SchedulerService:
         self._backpressure: Dict[str, Deque[JobHandle]] = {}
         self._watchers: List[Tuple[asyncio.Queue, Optional[frozenset]]] = []
         self._closed = False
+        self._replaying = False
+        self._journal: Optional[IntentJournal] = None
+        self._snapshot_every: Optional[int] = None
+        self._snapshot_keep = snapshot_keep
+        self._applied_seq = 0
+        self._quota_overrides: Dict[str, TenantQuota] = {}
         # The emitter must own the recorder seam *before* the engine is
         # built: engine construction emits begin_run through it.
         self._emitter = _ServiceEmitter(self, recorder)
         scheduler.attach_recorder(self._emitter)
         self._engine = SchedulerEngine(scheduler, policy)
         self._engine.add_failures(failures)
+        if journal_dir is not None:
+            from .recovery import list_snapshots
+
+            journal = IntentJournal(journal_dir, fsync=journal_fsync)
+            if journal.last_seq > 0 or list_snapshots(journal.directory):
+                journal.close()
+                raise RuntimeError(
+                    f"durable state already exists under {journal_dir}; "
+                    "open it with repro.serve.recovery.recover_service instead"
+                )
+            self._attach_journal(journal, snapshot_every, snapshot_keep)
+        elif snapshot_every is not None:
+            raise ValueError("snapshot_every requires journal_dir")
 
     # -------------------------------------------------------------- properties
     @property
@@ -360,6 +411,18 @@ class SchedulerService:
                 f"virtual clock {self._engine.clock}"
             )
         tenant_id = tenant if tenant is not None else self._tenant_of(job)
+        # Write-ahead: the intent is durable before any state mutates, so a
+        # crash anywhere past this line replays it; a crash before (or mid-
+        # append) loses only a submission that was never acknowledged.
+        self._journal_op(
+            {
+                "op": "submit",
+                "clock": self._engine.clock,
+                "arrival": arrival,
+                "tenant": tenant_id,
+                "job": _dump_trace_job(job),
+            }
+        )
         account = self.account(tenant_id)
         estimate = self._estimate(job)
         handle = JobHandle(self, job, tenant_id, estimate)
@@ -384,6 +447,7 @@ class SchedulerService:
             )
         else:
             self._admit(handle, arrival)
+        self._maybe_snapshot()
         return handle
 
     def _estimate(self, job: TraceJob) -> float:
@@ -428,6 +492,17 @@ class SchedulerService:
         already left the system.
         """
         handle = self._jobs[job_id]
+        if handle._finished:
+            return False
+        self._journal_op(
+            {"op": "cancel", "clock": self._engine.clock, "job": job_id}
+        )
+        ok = self._cancel_sync(job_id)
+        self._maybe_snapshot()
+        return ok
+
+    def _cancel_sync(self, job_id: str) -> bool:
+        handle = self._jobs[job_id]
         account = self._accounts[handle.tenant]
         now = self._engine.clock
         if handle._service_status == _ST_QUEUED:
@@ -453,6 +528,220 @@ class SchedulerService:
         handle._resolve()
         self._pump(now)
         return True
+
+    # ------------------------------------------------------------------ quotas
+    async def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Replace one tenant's quota at the current virtual time.
+
+        The change is journaled like any other intent, pushed into the
+        admission policy (when it supports per-tenant quotas, e.g.
+        :meth:`~repro.serve.admission.QuotaAdmission.set_quota`) and onto
+        the tenant's live account, then the backpressure queues are pumped
+        — a raised quota can admit parked submissions immediately.
+        """
+        self._journal_op(
+            {
+                "op": "set_quota",
+                "clock": self._engine.clock,
+                "tenant": tenant,
+                "gpu_seconds": _enc_float(quota.gpu_seconds),
+                "max_pending": quota.max_pending,
+            }
+        )
+        self._set_quota_sync(tenant, quota)
+        self._maybe_snapshot()
+
+    def _set_quota_sync(self, tenant: str, quota: TenantQuota) -> None:
+        self._quota_overrides[tenant] = quota
+        setter = getattr(self.admission, "set_quota", None)
+        if setter is not None:
+            setter(tenant, quota)
+        account = self._accounts.get(tenant)
+        if account is not None:
+            account.quota = quota
+        self._pump(self._engine.clock)
+
+    # -------------------------------------------------------------- durability
+    @property
+    def journal(self) -> Optional[IntentJournal]:
+        """The attached write-ahead journal (``None`` when not durable)."""
+        return self._journal
+
+    def _attach_journal(
+        self,
+        journal: IntentJournal,
+        snapshot_every: Optional[int],
+        snapshot_keep: int,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if snapshot_keep < 1:
+            raise ValueError("snapshot_keep must be >= 1")
+        self._journal = journal
+        self._snapshot_every = snapshot_every
+        self._snapshot_keep = snapshot_keep
+        self._applied_seq = journal.last_seq
+
+    def _journal_op(self, intent: Dict[str, Any]) -> None:
+        """Write-ahead: persist the intent before the caller applies it."""
+        if self._journal is None or self._replaying:
+            return
+        self._applied_seq = self._journal.append(intent)
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._journal is None
+            or self._replaying
+            or not self._snapshot_every
+            or self._applied_seq == 0
+            or self._applied_seq % self._snapshot_every != 0
+        ):
+            return
+        from .recovery import write_snapshot
+
+        write_snapshot(self)
+
+    def apply_intent(self, record: JournalRecord) -> None:
+        """Re-apply one journaled intent during recovery.
+
+        The engine is first advanced to the virtual clock the intent was
+        originally applied at — every event before it replays through the
+        same emission and accounting seams it used live — then the intent
+        itself runs with journaling suppressed (its record already exists).
+        """
+        intent = record.intent
+        self._replaying = True
+        try:
+            self._advance_sync(intent["clock"])
+            op = intent["op"]
+            if op == "submit":
+                self._submit(
+                    _load_trace_job(intent["job"]),
+                    intent["tenant"],
+                    intent["arrival"],
+                )
+            elif op == "cancel":
+                handle = self._jobs.get(intent["job"])
+                if handle is not None and not handle._finished:
+                    self._cancel_sync(intent["job"])
+            elif op == "set_quota":
+                self._set_quota_sync(
+                    intent["tenant"],
+                    TenantQuota(
+                        gpu_seconds=_dec_float(intent["gpu_seconds"]),
+                        max_pending=intent["max_pending"],
+                    ),
+                )
+            else:
+                raise ValueError(f"unknown journal op {op!r}")
+        finally:
+            self._replaying = False
+        self._applied_seq = record.seq
+
+    def durable_state(self) -> Dict[str, Any]:
+        """Everything recovery needs, as one canonical-JSON-able payload.
+
+        Captures the engine (via
+        :class:`~repro.sched.snapshot.EngineSnapshot`), every tenant
+        ledger, every job handle, the backpressure queues and the quota
+        overrides, anchored to the journal sequence it reflects
+        (``journal_seq``) so recovery knows exactly which suffix to replay.
+        """
+        jobs = [
+            {
+                "job": _dump_trace_job(handle.job),
+                "tenant": handle.tenant,
+                "estimate": handle.estimate_gpu_seconds,
+                "service_status": handle._service_status,
+                "finished": handle._finished,
+            }
+            for handle in self._jobs.values()
+        ]
+        tenants = []
+        for name in sorted(self._accounts):
+            account = self._accounts[name]
+            tenants.append(
+                {
+                    "name": name,
+                    "quota": {
+                        "gpu_seconds": _enc_float(account.quota.gpu_seconds),
+                        "max_pending": account.quota.max_pending,
+                    },
+                    "committed": account.committed,
+                    "used": account.used,
+                    "engine_pending": account.engine_pending,
+                    "queued": account.queued,
+                    "counters": {
+                        "submitted": account.submitted_c.value,
+                        "admitted": account.admitted_c.value,
+                        "queued": account.queued_c.value,
+                        "rejected": account.rejected_c.value,
+                        "completed": account.completed_c.value,
+                        "cancelled": account.cancelled_c.value,
+                    },
+                }
+            )
+        return {
+            "journal_seq": self._applied_seq,
+            "clock": self._engine.clock,
+            "engine": EngineSnapshot.capture(self._engine).payload,
+            "tenants": tenants,
+            "jobs": jobs,
+            "backpressure": {
+                tenant: [handle.name for handle in queue]
+                for tenant, queue in sorted(self._backpressure.items())
+                if queue
+            },
+            "quota_overrides": {
+                tenant: {
+                    "gpu_seconds": _enc_float(quota.gpu_seconds),
+                    "max_pending": quota.max_pending,
+                }
+                for tenant, quota in sorted(self._quota_overrides.items())
+            },
+        }
+
+    def restore_durable_state(self, payload: Dict[str, Any]) -> None:
+        """Load a :meth:`durable_state` payload into this fresh service."""
+        if self._jobs or self._engine.states or self._engine.queue.popped:
+            raise ValueError(
+                "durable state must be restored into a fresh service"
+            )
+        self._engine.restore(EngineSnapshot(payload["engine"]))
+        for tenant, row in payload["quota_overrides"].items():
+            quota = TenantQuota(
+                gpu_seconds=_dec_float(row["gpu_seconds"]),
+                max_pending=row["max_pending"],
+            )
+            self._quota_overrides[tenant] = quota
+            setter = getattr(self.admission, "set_quota", None)
+            if setter is not None:
+                setter(tenant, quota)
+        for row in payload["tenants"]:
+            quota = TenantQuota(
+                gpu_seconds=_dec_float(row["quota"]["gpu_seconds"]),
+                max_pending=row["quota"]["max_pending"],
+            )
+            account = TenantAccount(row["name"], quota)
+            account.restore_ledger(
+                committed=row["committed"],
+                used=row["used"],
+                engine_pending=row["engine_pending"],
+                queued=row["queued"],
+                counters=row["counters"],
+            )
+            self._accounts[row["name"]] = account
+        for row in payload["jobs"]:
+            job = _load_trace_job(row["job"])
+            handle = JobHandle(self, job, row["tenant"], row["estimate"])
+            handle._service_status = row["service_status"]
+            handle._finished = row["finished"]
+            self._jobs[job.name] = handle
+        for tenant, names in payload["backpressure"].items():
+            self._backpressure[tenant] = deque(
+                self._jobs[name] for name in names
+            )
+        self._applied_seq = payload["journal_seq"]
 
     # ----------------------------------------------------------------- queries
     def query(self, job_id: str) -> JobInfo:
@@ -581,6 +870,19 @@ class SchedulerService:
                     break
 
     # -------------------------------------------------------------------- time
+    def _advance_sync(self, time: float) -> int:
+        """Synchronous ``advance_to`` (recovery replay runs outside asyncio)."""
+        engine = self._engine
+        steps = 0
+        while True:
+            peek = engine.queue.peek_time()
+            if peek is None or peek >= time:
+                break
+            engine.step()
+            steps += 1
+        engine.clock = max(engine.clock, time)
+        return steps
+
     async def advance_to(self, time: float, yield_every: int = 256) -> int:
         """Process every event strictly before ``time``; returns the count.
 
@@ -646,6 +948,8 @@ class SchedulerService:
     async def close(self) -> None:
         """Close every ``watch()`` stream and refuse further submissions."""
         self._closed = True
+        if self._journal is not None:
+            self._journal.close()
         for queue, _ in self._watchers:
             queue.put_nowait(_WATCH_CLOSED)
         await asyncio.sleep(0)

@@ -282,3 +282,83 @@ class TestCrossProcessDeterminism:
             outputs.append(result.stdout)
         assert outputs[0] == outputs[1]
         assert '"model_name": "vgg11"' in outputs[0]
+
+
+_CRASH_DURING_PUT_SCRIPT = """
+import json
+import os
+import signal
+import sys
+
+from repro.cache import ArtifactCache
+
+cache = ArtifactCache(sys.argv[1])
+mode = sys.argv[2]
+key = sys.argv[3]
+payload = {"rows": list(range(20000))}
+
+if mode == "before-publish":
+    # Crash between the temp-file write and the atomic rename.
+    def kill(src, dst):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    os.replace = kill
+elif mode == "mid-write":
+    # Crash halfway through serializing the entry: fsync what is there so
+    # the partial temp file genuinely hits the disk, then die.
+    def partial_dump(obj, fh, **kwargs):
+        text = json.dumps(obj, **kwargs)
+        fh.write(text[: len(text) // 2])
+        fh.flush()
+        os.fsync(fh.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    json.dump = partial_dump
+
+cache.put("chaos", key, payload)
+raise SystemExit("unreachable: the put above must crash")
+"""
+
+
+class TestCrashDuringPut:
+    """A writer killed mid-``put`` must never leave a servable corrupt entry.
+
+    ``put`` publishes via write-temp-then-rename, so whichever instant the
+    SIGKILL lands at — mid-serialization or just before the rename — readers
+    see a clean miss, recompute, and the cache heals in place.
+    """
+
+    @pytest.mark.parametrize("mode", ["mid-write", "before-publish"])
+    def test_killed_writer_leaves_a_clean_miss(self, tmp_path, monkeypatch, mode):
+        import signal
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        monkeypatch.setenv("PYTHONPATH", src_dir)
+        key = fingerprint(f"chaos-{mode}")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _CRASH_DURING_PUT_SCRIPT,
+                str(tmp_path),
+                mode,
+                key,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stdout + proc.stderr
+
+        cache = ArtifactCache(tmp_path)
+        # The entry was never published: no file at the final path, and the
+        # lookup is a miss — never a partial payload.
+        assert not cache.entry_path("chaos", key).exists()
+        assert cache.get("chaos", key) is None
+        assert cache.stats.errors == 0
+        # Recovery is plain recomputation; afterwards the entry serves.
+        value = cache.get_or_compute("chaos", key, lambda: {"v": 42})
+        assert value == {"v": 42}
+        assert cache.get("chaos", key) == {"v": 42}
