@@ -51,7 +51,15 @@ THROUGHPUT_INFO_KEYS = ("submissions_per_sec",)
 #: pointing at its own cache directory still gates cleanly against a
 #: baseline recorded with none.
 ENVIRONMENT_PARAMS = frozenset(
-    {"cache_dir", "planner_processes", "trace_out", "journal_dir", "snapshot_every"}
+    {
+        "cache_dir",
+        "planner_processes",
+        "trace_out",
+        "journal_dir",
+        "snapshot_every",
+        "shard_workers",
+        "shard_epochs",
+    }
 )
 
 

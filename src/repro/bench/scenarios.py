@@ -19,6 +19,10 @@ Four scenarios ship by default, one per subsystem the ROADMAP cares about:
   fastest-pool-first foreground placement, checkpoint/restart rollback and
   lost-GPU-seconds accounting.  Ops are simulation events processed
   (failures and recoveries included).
+* ``sched_sim_xxl`` — the datacenter-scale sharded replay: a 16384-GPU
+  A100+V100 fleet serving a 100k-job mixed trace through a failure storm,
+  replayed epoch-parallel via :func:`~repro.sched.shard.replay_sharded`
+  (bit-identical to the single-process run at any epoch/worker count).
 * ``collocation_matrix`` — the Figure 12 pairwise GPU-collocation sweep over
   the synthetic kernel grid.  Ops are GPU-simulator runs.
 
@@ -50,6 +54,7 @@ from ..sched import (
     alibaba_trace,
     inject_failures,
     mixed_trace,
+    replay_sharded,
     synthetic_trace,
 )
 from ..serve import QuotaAdmission, SchedulerService, TenantQuota, replay_trace_sync
@@ -60,6 +65,7 @@ __all__ = [
     "sched_sim",
     "sched_sim_xl",
     "sched_sim_hetero",
+    "sched_sim_xxl",
     "sched_service",
     "collocation_matrix",
 ]
@@ -146,6 +152,21 @@ def planner_grid(
         },
         info=info,
     )
+
+
+def _fleet_from_pools(pools: Sequence[str], gpus_per_host: int) -> ClusterFleet:
+    """Build a fleet from ``"<gpu spec>:<num gpus>"`` pool entries."""
+    pool_specs = []
+    for entry in pools:
+        spec_name, _, count = str(entry).partition(":")
+        if not count:
+            raise ValueError(
+                f"pool entry {entry!r} must look like '<gpu spec>:<num gpus>'"
+            )
+        pool_specs.append(
+            GpuPoolSpec(spec_name, get_gpu_spec(spec_name), int(count), gpus_per_host)
+        )
+    return ClusterFleet(tuple(pool_specs))
 
 
 def _make_trace(trace: str, num_jobs: int, seed: int):
@@ -322,17 +343,7 @@ def sched_sim_hetero(
             "failure_window needs exactly (start, end) seconds, got "
             f"{list(failure_window)}"
         )
-    pool_specs = []
-    for entry in pools:
-        spec_name, _, count = str(entry).partition(":")
-        if not count:
-            raise ValueError(
-                f"pool entry {entry!r} must look like '<gpu spec>:<num gpus>'"
-            )
-        pool_specs.append(
-            GpuPoolSpec(spec_name, get_gpu_spec(spec_name), int(count), gpus_per_host)
-        )
-    fleet = ClusterFleet(tuple(pool_specs))
+    fleet = _fleet_from_pools(pools, gpus_per_host)
     jobs = _make_trace(trace, num_jobs, seed)
     schedule = inject_failures(
         fleet,
@@ -369,6 +380,135 @@ def sched_sim_hetero(
     if recorder is not None:
         path = recorder.write_chrome_trace(trace_out)
         info.update(trace_out=str(path), trace_events=len(recorder))
+    return ScenarioResult(
+        ops=result.events_processed,
+        metrics={
+            "jobs": float(m.num_jobs),
+            "failures": float(result.failures_injected),
+            "makespan_s": m.makespan,
+            "mean_jct_s": m.mean_jct,
+            "p95_jct_s": m.p95_jct,
+            "mean_queue_delay_s": m.mean_queue_delay,
+            "utilization": m.utilization,
+            "fg_goodput": m.fg_goodput,
+            "bg_goodput": m.bg_goodput,
+            "preemptions": float(m.preemptions),
+            "replans": float(m.replans),
+            "restarts": float(m.restarts),
+            "lost_gpu_seconds": m.lost_gpu_seconds,
+        },
+        info=info,
+    )
+
+
+@scenario(
+    "sched_sim_xxl",
+    "Datacenter-scale sharded replay: 100k-job mixed trace on a 16384-GPU "
+    "heterogeneous fleet",
+    pools=("a100:8192", "v100:8192"),
+    gpus_per_host=8,
+    num_jobs=100000,
+    seed=31,
+    policy="collocation",
+    trace="mixed",
+    fabric="nvswitch",
+    failures=12,
+    failure_seed=9,
+    failure_window=(300.0, 43200.0),
+    mean_downtime=120.0,
+    checkpoint_interval_s=120.0,
+    restart_overhead_s=15.0,
+    shard_epochs=8,
+    shard_workers=2,
+    cache_dir=None,
+)
+def sched_sim_xxl(
+    pools: Sequence[str],
+    gpus_per_host: int,
+    num_jobs: int,
+    seed: int,
+    policy: str,
+    trace: str,
+    fabric: str,
+    failures: int,
+    failure_seed: int,
+    failure_window: Sequence[float],
+    mean_downtime: float,
+    checkpoint_interval_s: float,
+    restart_overhead_s: float,
+    shard_epochs: int,
+    shard_workers: int,
+    cache_dir: Optional[str],
+) -> ScenarioResult:
+    """The sharded-simulation headline; ops = events processed.
+
+    A 16k-GPU A100+V100 fleet serves a 100k-job mixed trace through an
+    injected failure storm, replayed epoch-parallel by
+    :func:`~repro.sched.shard.replay_sharded`.  The stitched result is
+    bit-identical to a single-process ``ClusterScheduler.run`` of the same
+    workload — the shard parity tests and the CI ``shard`` job pin that —
+    so the gated metrics cannot depend on how the replay was partitioned
+    or parallelized.  ``shard_epochs`` and ``shard_workers`` accordingly
+    sit in :data:`~repro.bench.compare.ENVIRONMENT_PARAMS`: they move wall
+    time and the ``info`` diagnostics (anchor traffic, worker
+    utilization), never the fingerprint.
+
+    A persistent ``cache_dir`` makes the serial anchor pass a one-time
+    cost per workload: warm runs go straight to the parallel phase, which
+    is where the wall-time win lives (see the README's sharded-simulation
+    section for measured numbers).
+    """
+    if len(failure_window) != 2:
+        raise ValueError(
+            "failure_window needs exactly (start, end) seconds, got "
+            f"{list(failure_window)}"
+        )
+    fleet = _fleet_from_pools(pools, gpus_per_host)
+    jobs = _make_trace(trace, num_jobs, seed)
+    schedule = inject_failures(
+        fleet,
+        failures,
+        seed=failure_seed,
+        window=(failure_window[0], failure_window[1]),
+        mean_downtime=mean_downtime,
+    )
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    profiler = LayerProfiler(persistent_cache=cache)
+    planner = BurstParallelPlanner(get_fabric(fabric), profiler, cache=cache)
+    sched = ClusterScheduler(
+        fleet,
+        fabric=fabric,
+        profiler=profiler,
+        planner=planner,
+        checkpoint=CheckpointModel(checkpoint_interval_s, restart_overhead_s),
+    )
+    report = replay_sharded(
+        sched,
+        jobs,
+        policy,
+        failures=schedule,
+        epochs=shard_epochs,
+        workers=shard_workers,
+        anchor_cache=cache,
+    )
+    result = report.result
+    m = result.metrics
+    info = _cache_info(cache)
+    info.update(
+        num_gpus=fleet.num_gpus,
+        num_hosts=fleet.num_hosts,
+        speed_order=",".join(fleet.speed_order),
+        fleet_fingerprint=fleet_fingerprint(fleet),
+        result_fingerprint=report.result_fingerprint(),
+        shard_epochs=len(report.epochs),
+        shard_workers=report.workers,
+        anchor_hits=report.anchor_hits,
+        anchor_misses=report.anchor_misses,
+        anchor_writes=report.anchor_writes,
+        anchor_pass_s=report.anchor_pass_s,
+        replay_s=report.replay_s,
+        worker_utilization=report.worker_utilization,
+    )
     return ScenarioResult(
         ops=result.events_processed,
         metrics={

@@ -29,6 +29,8 @@ from .fingerprint import (
     graph_fingerprint,
     planner_config_fingerprint,
     profiler_fingerprint,
+    shard_anchor_fingerprint,
+    snapshot_fingerprint,
     trace_fingerprint,
 )
 from .store import (
@@ -49,6 +51,8 @@ __all__ = [
     "planner_config_fingerprint",
     "fleet_fingerprint",
     "trace_fingerprint",
+    "snapshot_fingerprint",
+    "shard_anchor_fingerprint",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "ArtifactCache",

@@ -1,0 +1,174 @@
+"""Command-line entry point: ``python -m repro.sched``.
+
+``shard-smoke`` runs the shard-parity check CI gates on: the same workload
+is replayed three ways — single-process through ``ClusterScheduler.run``,
+sharded cold (the serial anchor pass materializes and persists the epoch
+anchors), and sharded warm across worker processes (pure parallel phase,
+every anchor a cache hit) — and all three
+:func:`~repro.serve.replay.result_fingerprint` digests must match byte for
+byte.  A JSON report with the per-epoch counters and timings is written for
+CI to upload as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+from typing import List, Optional
+
+from ..cache import ArtifactCache
+from ..obs.metrics import global_registry
+from .failures import inject_failures
+from .scheduler import ClusterScheduler
+from .shard import replay_sharded
+from .traces import alibaba_trace, mixed_trace, synthetic_trace
+
+_GENERATORS = {
+    "synthetic": synthetic_trace,
+    "alibaba": alibaba_trace,
+    "mixed": mixed_trace,
+}
+
+
+def _cmd_shard_smoke(args: argparse.Namespace) -> int:
+    trace = _GENERATORS[args.trace](args.num_jobs, seed=args.seed)
+    print(
+        f"shard-smoke: trace={args.trace} jobs={len(trace)} "
+        f"gpus={args.num_gpus} policy={args.policy} epochs={args.epochs} "
+        f"workers={args.workers} seed={args.seed}"
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def scheduler() -> ClusterScheduler:
+        return ClusterScheduler(args.num_gpus, fabric=args.fabric)
+
+    failures = (
+        inject_failures(
+            scheduler().fleet, args.failures, seed=args.failure_seed
+        )
+        if args.failures
+        else []
+    )
+    if failures:
+        print(f"failures: {len(failures)} injected (seed={args.failure_seed})")
+
+    serial_start = perf_counter()
+    serial = scheduler().run(trace, args.policy, failures=failures)
+    serial_s = perf_counter() - serial_start
+    from ..serve.replay import result_fingerprint
+
+    serial_fp = result_fingerprint(serial)
+    print(
+        f"serial  : events={serial.events_processed} "
+        f"wall={serial_s:.3f}s fp={serial_fp}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="shard-smoke-") as default_dir:
+        cache = ArtifactCache(args.cache_dir or default_dir)
+        registry = global_registry()
+        before = registry.snapshot()
+        cold = replay_sharded(
+            scheduler(),
+            trace,
+            args.policy,
+            failures=failures,
+            epochs=args.epochs,
+            workers=args.workers,
+            anchor_cache=cache,
+        )
+        cold_fp = cold.result_fingerprint()
+        print(
+            f"cold    : anchors={cold.anchor_writes} written in "
+            f"{cold.anchor_pass_s:.3f}s, replay={cold.replay_s:.3f}s "
+            f"fp={cold_fp}"
+        )
+        warm = replay_sharded(
+            scheduler(),
+            trace,
+            args.policy,
+            failures=failures,
+            epochs=args.epochs,
+            workers=args.workers,
+            anchor_cache=cache,
+        )
+        counters = registry.delta_since(before)
+        warm_fp = warm.result_fingerprint()
+        print(
+            f"warm    : anchors={warm.anchor_hits} hit, "
+            f"replay={warm.replay_s:.3f}s "
+            f"utilization={warm.worker_utilization:.2f} fp={warm_fp}"
+        )
+
+    match = serial_fp == cold_fp == warm_fp
+    report = {
+        "trace": args.trace,
+        "num_jobs": args.num_jobs,
+        "num_gpus": args.num_gpus,
+        "policy": args.policy,
+        "seed": args.seed,
+        "failures": len(failures),
+        "serial_fingerprint": serial_fp,
+        "serial_wall_s": serial_s,
+        "match": match,
+        "cold": cold.to_payload(),
+        "warm": warm.to_payload(),
+        "counters": counters,
+    }
+    report_path = out / "shard_report.json"
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"artifact: {report_path}")
+
+    if not match:
+        print("FAIL: sharded replay diverged from the single-process run")
+        return 1
+    print(
+        "OK: sharded replay matches the single-process run byte for byte "
+        f"(cold and warm, {warm.workers} workers x {len(warm.epochs)} epochs)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sched",
+        description="Scheduler replay utilities.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    smoke = sub.add_parser(
+        "shard-smoke",
+        help="replay a trace sharded and assert single-process parity",
+    )
+    smoke.add_argument("--trace", choices=sorted(_GENERATORS), default="mixed")
+    smoke.add_argument("--num-jobs", type=int, default=800)
+    smoke.add_argument("--num-gpus", type=int, default=512)
+    smoke.add_argument("--seed", type=int, default=11)
+    smoke.add_argument("--policy", default="collocation")
+    smoke.add_argument("--fabric", default="nvswitch")
+    smoke.add_argument("--failures", type=int, default=4)
+    smoke.add_argument("--failure-seed", type=int, default=9)
+    smoke.add_argument("--epochs", type=int, default=5)
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.add_argument(
+        "--cache-dir",
+        default=None,
+        help="anchor/plan cache root (default: a fresh temp directory)",
+    )
+    smoke.add_argument(
+        "--out", default="shard-artifacts", help="artifact output directory"
+    )
+    smoke.set_defaults(fn=_cmd_shard_smoke)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

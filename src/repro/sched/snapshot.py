@@ -229,6 +229,16 @@ class EngineSnapshot:
         telemetry gauges or the scheduler hold references to them.
         """
         payload = self.payload
+        # Schema first: a payload from a different build would otherwise
+        # surface as a KeyError (or worse, a silently misread field) deep
+        # inside state application.
+        schema = payload.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"cannot apply engine snapshot with schema {schema!r}: this "
+                f"build applies schema {SNAPSHOT_SCHEMA} (re-capture the "
+                "snapshot with a matching build)"
+            )
         sched = engine.scheduler
         # "Fresh" means no job was added and no event processed.  Pre-queued
         # events are allowed — a service reconstructed with its original

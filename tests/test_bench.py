@@ -516,3 +516,82 @@ class TestCachedProfileSpeedup:
         )
         # Generous margin: the win is ~10% locally, but CI machines are noisy.
         assert cached.wall_time_s <= uncached.wall_time_s * 1.2
+
+
+#: Scaled-down sched_sim_xxl parameters (the defaults simulate 16k GPUs).
+XXL_SMALL = {
+    "pools": ["a100:16", "v100:16"],
+    "gpus_per_host": 4,
+    "num_jobs": 30,
+    "seed": 5,
+    "failures": 2,
+    "failure_seed": 3,
+    "failure_window": [30.0, 240.0],
+    "mean_downtime": 30.0,
+    "shard_epochs": 3,
+    "shard_workers": 1,
+}
+
+
+class TestShardedXXLScenario:
+    """The sched_sim_xxl scenario, scaled down to suite speed."""
+
+    def test_matches_single_process_run(self):
+        """The scenario's stitched result is the serial run, byte for byte."""
+        from repro.profiler.gpu_spec import get_gpu_spec
+        from repro.sched import (
+            CheckpointModel,
+            ClusterFleet,
+            ClusterScheduler,
+            GpuPoolSpec,
+            inject_failures,
+            mixed_trace,
+        )
+        from repro.serve.replay import result_fingerprint
+
+        artifact = run_scenario("sched_sim_xxl", overrides=XXL_SMALL)
+        fleet = ClusterFleet(
+            (
+                GpuPoolSpec("a100", get_gpu_spec("a100"), 16, 4),
+                GpuPoolSpec("v100", get_gpu_spec("v100"), 16, 4),
+            )
+        )
+        sched = ClusterScheduler(
+            fleet, fabric="nvswitch", checkpoint=CheckpointModel(120.0, 15.0)
+        )
+        jobs = mixed_trace(30, seed=5)
+        schedule = inject_failures(
+            fleet, 2, seed=3, window=(30.0, 240.0), mean_downtime=30.0
+        )
+        serial = sched.run(jobs, "collocation", failures=schedule)
+        assert artifact.info["result_fingerprint"] == result_fingerprint(serial)
+        assert artifact.ops == serial.events_processed
+        assert artifact.metrics["failures"] == float(serial.failures_injected)
+
+    def test_shard_knobs_and_cache_do_not_move_the_fingerprint(self, tmp_path):
+        """shard_epochs/shard_workers/cache_dir are environment params: any
+        combination produces identical gated results, and the compare gate
+        treats the artifacts as the same workload."""
+        cache_dir = str(tmp_path / "cache")
+        base = run_scenario("sched_sim_xxl", overrides=XXL_SMALL)
+        warm_setup = dict(
+            XXL_SMALL, cache_dir=cache_dir, shard_epochs=2, shard_workers=2
+        )
+        cold = run_scenario("sched_sim_xxl", overrides=warm_setup)
+        warm = run_scenario("sched_sim_xxl", overrides=warm_setup)
+        assert base.metrics == cold.metrics == warm.metrics
+        assert base.ops == cold.ops == warm.ops
+        assert cold.info["anchor_writes"] == 2
+        assert warm.info["anchor_hits"] == 2
+        assert warm.info["anchor_pass_s"] == 0.0
+        comparison = compare_artifacts(
+            {"sched_sim_xxl": base}, {"sched_sim_xxl": warm}, ignore_time=True
+        )
+        assert comparison.ok
+
+    def test_failure_window_must_be_a_pair(self):
+        with pytest.raises(ValueError, match="failure_window"):
+            run_scenario(
+                "sched_sim_xxl",
+                overrides=dict(XXL_SMALL, failure_window=[1.0]),
+            )

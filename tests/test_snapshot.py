@@ -335,6 +335,15 @@ class TestSnapshotGuards:
         with pytest.raises(ValueError, match="iso_iter_time"):
             engine.restore(snapshot)
 
+    def test_apply_rejects_schema_mismatch_with_both_versions_named(self):
+        # A foreign-schema payload must fail up front with both versions in
+        # the message — not as a KeyError deep inside state application.
+        snapshot = self._snapshot()
+        snapshot.payload["schema"] = 99
+        engine = _build_engine(_CONFIGS["homogeneous"])
+        with pytest.raises(ValueError, match=r"schema 99.*applies schema 1"):
+            engine.restore(snapshot)
+
     def test_from_json_rejects_wrong_schema_and_shape(self):
         snapshot = self._snapshot()
         doc = snapshot.to_json()
